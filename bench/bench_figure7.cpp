@@ -1,0 +1,62 @@
+// Regenerates paper Figure 7: the ES->GE dynamic-cascading probability
+// sweep (25/50/75/100%) on accelerators B and J with 4K PEs running the
+// VR Gaming scenario, averaged over 200 trials (paper §4.3).
+
+#include <iostream>
+
+#include "core/harness.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace xrbench;
+
+int main() {
+  constexpr int kTrials = 200;  // paper: "We run 200 experiments"
+  core::HarnessOptions opt;
+  opt.dynamic_trials = kTrials;
+
+  util::CsvWriter csv("bench_output/figure7_cascade_sweep.csv");
+  csv.header({"accelerator", "cascade_probability", "realtime", "energy",
+              "qoe", "overall"});
+
+  for (char id : {'B', 'J'}) {
+    core::Harness harness(hw::make_accelerator(id, 4096), opt);
+    std::cout << "=== Figure 7: accelerator " << id
+              << " (4K PEs), VR Gaming, ES->GE cascade sweep ("
+              << kTrials << " trials/point) ===\n\n";
+    util::TablePrinter table(
+        {"Cascade p", "Realtime", "Energy", "QoE", "Overall"});
+    double first_overall = 0.0, last_overall = 0.0;
+    double first_rt = 0.0, last_rt = 0.0, first_qoe = 0.0, last_qoe = 0.0;
+    for (double p : {0.25, 0.50, 0.75, 1.00}) {
+      const auto scenario = workload::with_cascade_probability(
+          workload::scenario_by_name("VR Gaming"), models::TaskId::kGE, p);
+      const auto out = harness.run_scenario(scenario);
+      table.add_row({util::fmt_percent(p, 0),
+                     util::fmt_double(out.score.realtime),
+                     util::fmt_double(out.score.energy),
+                     util::fmt_double(out.score.qoe),
+                     util::fmt_double(out.score.overall)});
+      csv.row({std::string(1, id), util::CsvWriter::cell(p),
+               util::CsvWriter::cell(out.score.realtime),
+               util::CsvWriter::cell(out.score.energy),
+               util::CsvWriter::cell(out.score.qoe),
+               util::CsvWriter::cell(out.score.overall)});
+      if (p == 0.25) {
+        first_overall = out.score.overall;
+        first_rt = out.score.realtime;
+        first_qoe = out.score.qoe;
+      }
+      last_overall = out.score.overall;
+      last_rt = out.score.realtime;
+      last_qoe = out.score.qoe;
+    }
+    table.print(std::cout);
+    std::cout << "Overall score change 25% -> 100%: "
+              << util::fmt_double(last_overall - first_overall)
+              << "  (realtime " << util::fmt_double(last_rt - first_rt)
+              << ", QoE " << util::fmt_double(last_qoe - first_qoe) << ")\n\n";
+  }
+  std::cout << "CSV written to bench_output/figure7_cascade_sweep.csv\n";
+  return 0;
+}

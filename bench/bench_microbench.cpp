@@ -1,0 +1,89 @@
+// Google-benchmark microbenchmarks of the harness itself: analytical
+// cost-model evaluation, cost-table construction, one scenario simulation,
+// and full-suite scoring. These gauge how fast design-space sweeps
+// (Figure-5-scale studies) run on the reproduction substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/harness.h"
+#include "models/zoo.h"
+#include "runtime/cost_table.h"
+
+using namespace xrbench;
+
+namespace {
+
+void BM_LayerCost(benchmark::State& state) {
+  costmodel::AnalyticalCostModel cm;
+  costmodel::SubAccelConfig accel;
+  accel.id = "bm";
+  accel.dataflow = static_cast<costmodel::Dataflow>(state.range(0));
+  accel.num_pes = 4096;
+  const auto layer = costmodel::conv2d("bm", 256, 256, 32, 32, 3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.layer_cost(layer, accel));
+  }
+}
+BENCHMARK(BM_LayerCost)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ModelCost(benchmark::State& state) {
+  costmodel::AnalyticalCostModel cm;
+  costmodel::SubAccelConfig accel;
+  accel.id = "bm";
+  accel.num_pes = 4096;
+  const auto task = models::all_tasks()[static_cast<std::size_t>(
+      state.range(0))];
+  const auto& graph = models::model_graph(task);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.model_cost(graph, accel));
+  }
+  state.SetLabel(models::task_code(task));
+}
+BENCHMARK(BM_ModelCost)->DenseRange(0, 10);
+
+void BM_CostTableBuild(benchmark::State& state) {
+  costmodel::AnalyticalCostModel cm;
+  const auto sys = hw::make_accelerator('M', 8192);
+  for (auto _ : state) {
+    runtime::CostTable table(sys, cm);
+    benchmark::DoNotOptimize(table.num_sub_accels());
+  }
+}
+BENCHMARK(BM_CostTableBuild);
+
+void BM_ScenarioRun(benchmark::State& state) {
+  core::Harness harness(hw::make_accelerator('J', 4096));
+  const auto& scenario = workload::benchmark_suite()[static_cast<std::size_t>(
+      state.range(0))];
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.run_once(scenario, seed++));
+  }
+  state.SetLabel(scenario.name);
+}
+BENCHMARK(BM_ScenarioRun)->DenseRange(0, 6);
+
+void BM_FullSuite(benchmark::State& state) {
+  core::HarnessOptions opt;
+  opt.dynamic_trials = static_cast<int>(state.range(0));
+  core::Harness harness(hw::make_accelerator('J', 4096), opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.run_suite());
+  }
+}
+BENCHMARK(BM_FullSuite)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_ScoreScenario(benchmark::State& state) {
+  core::Harness harness(hw::make_accelerator('J', 4096));
+  const auto run =
+      harness.run_once(workload::scenario_by_name("AR Assistant"), 1);
+  const core::ScoreConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::score_scenario(run, cfg));
+  }
+}
+BENCHMARK(BM_ScoreScenario);
+
+}  // namespace
+
+BENCHMARK_MAIN();

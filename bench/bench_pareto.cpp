@@ -1,0 +1,67 @@
+// Pareto-frontier analysis over the Table-5 design space (§3.7: "XRBench
+// reveals all individual scores to users to facilitate Pareto frontier
+// analysis"). Objectives: real-time, energy, and QoE scores (all
+// higher-is-better); one analysis per chip size over the benchmark-level
+// averages, plus a per-scenario frontier for the most contested scenario.
+
+#include <iostream>
+
+#include "core/harness.h"
+#include "core/pareto.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace xrbench;
+
+namespace {
+
+void report(const std::string& title, std::vector<core::ParetoPoint> points,
+            util::CsvWriter& csv, const std::string& tag) {
+  const auto frontier = core::pareto_frontier(points);
+  std::cout << "=== " << title << " ===\n\n";
+  util::TablePrinter table(
+      {"Design", "Realtime", "Energy", "QoE", "On frontier"});
+  for (const auto& p : points) {
+    table.add_row({p.label, util::fmt_double(p.objectives[0]),
+                   util::fmt_double(p.objectives[1]),
+                   util::fmt_double(p.objectives[2]),
+                   p.dominated ? "" : "  *"});
+    csv.row({tag, p.label, util::CsvWriter::cell(p.objectives[0]),
+             util::CsvWriter::cell(p.objectives[1]),
+             util::CsvWriter::cell(p.objectives[2]),
+             p.dominated ? "0" : "1"});
+  }
+  table.print(std::cout);
+  std::cout << "Frontier: ";
+  for (std::size_t i : frontier) std::cout << points[i].label << " ";
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  core::HarnessOptions opt;
+  opt.dynamic_trials = 10;
+  util::CsvWriter csv("bench_output/pareto_frontier.csv");
+  csv.header({"analysis", "design", "realtime", "energy", "qoe",
+              "on_frontier"});
+
+  for (std::int64_t pes : {4096ll, 8192ll}) {
+    std::vector<core::ParetoPoint> avg_points;
+    std::vector<core::ParetoPoint> ar_points;
+    for (char id : hw::accelerator_ids()) {
+      core::Harness harness(hw::make_accelerator(id, pes), opt);
+      const auto out = harness.run_suite();
+      const std::string label =
+          std::string(1, id) + "@" + std::to_string(pes);
+      avg_points.push_back(core::make_point(label, out.score));
+      ar_points.push_back(core::make_point(label, out.scenarios[5].score));
+    }
+    report("Benchmark-average frontier, " + std::to_string(pes) + " PEs",
+           std::move(avg_points), csv, "avg_" + std::to_string(pes));
+    report("AR Gaming frontier, " + std::to_string(pes) + " PEs",
+           std::move(ar_points), csv, "ar_gaming_" + std::to_string(pes));
+  }
+  std::cout << "CSV written to bench_output/pareto_frontier.csv\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Design-space exploration example: sweep custom hardware configurations
+// (PE count, dataflow mix, off-chip bandwidth) beyond the 13 Table-5
+// presets, and rank them by XRBench SCORE per joule — the kind of co-design
+// loop the paper motivates (§4.4 Observation 1: "XR systems need to be
+// co-designed with usage scenarios").
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/harness.h"
+#include "util/table.h"
+
+using namespace xrbench;
+
+int main() {
+  struct Candidate {
+    std::string label;
+    hw::ChipResources chip;
+    char design;
+  };
+  std::vector<Candidate> candidates;
+  for (std::int64_t pes : {2048ll, 4096ll, 8192ll}) {
+    for (char design : {'A', 'D', 'J', 'M'}) {
+      hw::ChipResources chip;
+      chip.total_pes = pes;
+      candidates.push_back(
+          {std::string(1, design) + "@" + std::to_string(pes), chip, design});
+    }
+  }
+  // One bandwidth-starved variant: same PEs, half the off-chip bandwidth.
+  {
+    hw::ChipResources chip;
+    chip.total_pes = 8192;
+    chip.offchip_gbps /= 2.0;
+    candidates.push_back({"J@8192/half-DRAM", chip, 'J'});
+  }
+
+  util::TablePrinter table({"Design", "XRBench SCORE", "Realtime", "QoE",
+                            "Avg energy/scenario (mJ)", "Score per joule"});
+  core::HarnessOptions opt;
+  opt.dynamic_trials = 10;
+
+  struct Row {
+    std::string label;
+    double score, rt, qoe, energy, per_joule;
+  };
+  std::vector<Row> rows;
+  for (const auto& cand : candidates) {
+    core::Harness harness(hw::make_accelerator(cand.design, cand.chip), opt);
+    const auto out = harness.run_suite();
+    double energy = 0.0;
+    for (const auto& s : out.scenarios) energy += s.score.total_energy_mj;
+    energy /= static_cast<double>(out.scenarios.size());
+    rows.push_back({cand.label, out.score.overall, out.score.realtime,
+                    out.score.qoe, energy,
+                    out.score.overall / (energy / 1000.0)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.score > b.score; });
+  for (const auto& r : rows) {
+    table.add_row({r.label, util::fmt_double(r.score), util::fmt_double(r.rt),
+                   util::fmt_double(r.qoe), util::fmt_double(r.energy, 1),
+                   util::fmt_double(r.per_joule, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nRanked by XRBench SCORE; the per-joule column shows the "
+               "battery-life trade-off (paper §2.2.4).\n";
+  return 0;
+}

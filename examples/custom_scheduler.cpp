@@ -1,0 +1,106 @@
+// Custom scheduler example: the paper highlights the scheduler as the main
+// user-replaceable component of the harness (Figure 2's yellow boxes,
+// §3.5). This example implements a priority scheduler that always serves
+// the eye pipeline first (eye tracking is the most latency-critical XR
+// interaction), then compares it against the shipped latency-greedy policy
+// on the VR Gaming scenario.
+
+#include <iostream>
+#include <limits>
+
+#include "core/harness.h"
+#include "runtime/cost_table.h"
+#include "runtime/scenario_runner.h"
+#include "runtime/scheduler.h"
+#include "util/table.h"
+
+using namespace xrbench;
+
+namespace {
+
+/// Serves ES/GE requests before anything else; within a class, earliest
+/// deadline first; always on the fastest idle sub-accelerator.
+class EyeFirstScheduler final : public runtime::Scheduler {
+ public:
+  const char* name() const override { return "eye-first"; }
+
+  std::optional<runtime::Assignment> pick(
+      const runtime::SchedulerContext& ctx) override {
+    if (ctx.pending == nullptr || ctx.pending->empty() ||
+        ctx.idle_sub_accels == nullptr || ctx.idle_sub_accels->empty()) {
+      return std::nullopt;
+    }
+    const auto& pending = *ctx.pending;
+    auto is_eye = [](models::TaskId t) {
+      return t == models::TaskId::kES || t == models::TaskId::kGE;
+    };
+    std::optional<std::size_t> best;
+    for (std::size_t ri = 0; ri < pending.size(); ++ri) {
+      if (!best) {
+        best = ri;
+        continue;
+      }
+      const bool cand_eye = is_eye(pending[ri].task);
+      const bool best_eye = is_eye(pending[*best].task);
+      if (cand_eye != best_eye) {
+        if (cand_eye) best = ri;
+        continue;
+      }
+      if (pending[ri].tdl_ms < pending[*best].tdl_ms) best = ri;
+    }
+    // Fastest idle sub-accelerator for the chosen task.
+    std::size_t best_sa = ctx.idle_sub_accels->front();
+    for (std::size_t sa : *ctx.idle_sub_accels) {
+      if (ctx.costs->latency_ms(pending[*best].task, sa) <
+          ctx.costs->latency_ms(pending[*best].task, best_sa)) {
+        best_sa = sa;
+      }
+    }
+    return runtime::Assignment{*best, best_sa};
+  }
+};
+
+core::ScenarioScore run_with(runtime::Scheduler& scheduler,
+                             const hw::AcceleratorSystem& system) {
+  costmodel::AnalyticalCostModel cm;
+  const runtime::CostTable costs(system, cm);
+  const runtime::ScenarioRunner runner(system, costs);
+  runtime::RunConfig cfg;
+  const auto result = runner.run(workload::scenario_by_name("VR Gaming"),
+                                 scheduler, cfg);
+  return core::score_scenario(result, core::ScoreConfig{});
+}
+
+}  // namespace
+
+int main() {
+  // A deliberately undersized chip so scheduling decisions matter.
+  const auto system = hw::make_accelerator('G', 4096);
+  std::cout << "Comparing schedulers on " << system.dataflow_desc
+            << " running VR Gaming (45 FPS hand + 60 FPS eye pipeline)\n\n";
+
+  EyeFirstScheduler eye_first;
+  runtime::LatencyGreedyScheduler greedy;
+
+  util::TablePrinter table({"Scheduler", "Realtime", "QoE", "Overall",
+                            "ES QoE", "GE QoE", "HT QoE"});
+  for (runtime::Scheduler* sched :
+       std::initializer_list<runtime::Scheduler*>{&greedy, &eye_first}) {
+    const auto score = run_with(*sched, system);
+    auto qoe_of = [&score](models::TaskId t) {
+      const auto* m = score.find(t);
+      return m != nullptr ? m->qoe : 0.0;
+    };
+    table.add_row({sched->name(), util::fmt_double(score.realtime),
+                   util::fmt_double(score.qoe),
+                   util::fmt_double(score.overall),
+                   util::fmt_double(qoe_of(models::TaskId::kES)),
+                   util::fmt_double(qoe_of(models::TaskId::kGE)),
+                   util::fmt_double(qoe_of(models::TaskId::kHT))});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe eye-first policy trades hand-tracking frames for eye "
+               "pipeline stability — exactly the kind of runtime study "
+               "XRBench is built for (paper §4.3).\n";
+  return 0;
+}

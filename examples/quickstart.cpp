@@ -1,0 +1,44 @@
+// Quickstart: benchmark one accelerator design on the full XRBench suite.
+//
+//   ./quickstart [accelerator A..M] [total PEs]
+//
+// Builds the Table-5 design, runs all seven Table-2 usage scenarios through
+// the harness, and prints the Figure-5-style score breakdown plus the
+// overall XRBench SCORE.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/harness.h"
+#include "core/report.h"
+
+using namespace xrbench;
+
+int main(int argc, char** argv) {
+  const char accel_id = argc > 1 ? argv[1][0] : 'J';
+  const std::int64_t pes = argc > 2 ? std::atoll(argv[2]) : 8192;
+
+  // 1. Pick a hardware design (Table 5). Resources follow the paper's §4.1
+  //    chip: 256 GB/s NoC, 8 MiB SRAM, 1 GHz, partitioned per sub-accel.
+  const auto system = hw::make_accelerator(accel_id, pes);
+  std::cout << "Accelerator " << system.id << " ("
+            << hw::accel_style_name(system.style) << ", "
+            << system.dataflow_desc << ", " << system.total_pes()
+            << " PEs)\n\n";
+
+  // 2. Create the harness. Defaults: latency-greedy scheduler, 1 s runs,
+  //    jitter on, paper scoring constants (k=15, Enmax=1500 mJ).
+  core::Harness harness(system);
+
+  // 3. Run the whole benchmark suite.
+  const auto outcome = harness.run_suite();
+
+  // 4. Report.
+  core::print_benchmark_report(std::cout, outcome);
+  std::cout << "\nXRBench SCORE: " << outcome.score.overall << "\n";
+
+  // 5. Drill into one scenario (per-model frames, drops, unit scores).
+  std::cout << "\n";
+  core::print_scenario_report(std::cout, outcome.scenarios.back());
+  return 0;
+}

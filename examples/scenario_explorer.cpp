@@ -1,0 +1,65 @@
+// Scenario explorer: a small CLI for studying one usage scenario in depth —
+// per-model frame accounting, execution timeline, per-inference CSV log.
+//
+//   ./scenario_explorer "<scenario name>" [accelerator A..M] [PEs] [seed]
+//
+// Example:
+//   ./scenario_explorer "AR Assistant" M 8192 7
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/harness.h"
+#include "core/report.h"
+
+using namespace xrbench;
+
+int main(int argc, char** argv) {
+  const std::string scenario_name = argc > 1 ? argv[1] : "Social Interaction A";
+  const char accel_id = argc > 2 ? argv[2][0] : 'J';
+  const std::int64_t pes = argc > 3 ? std::atoll(argv[3]) : 4096;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                      : 42;
+
+  const workload::UsageScenario* scenario = nullptr;
+  try {
+    scenario = &workload::scenario_by_name(scenario_name);
+  } catch (const std::invalid_argument&) {
+    std::cerr << "Unknown scenario '" << scenario_name << "'. Available:\n";
+    for (const auto& s : workload::benchmark_suite()) {
+      std::cerr << "  \"" << s.name << "\" — " << s.description << "\n";
+    }
+    return 1;
+  }
+
+  std::cout << "Scenario: " << scenario->name << " — "
+            << scenario->description << "\nActive models:\n";
+  for (const auto& m : scenario->models) {
+    std::cout << "  " << models::task_code(m.task) << " @ " << m.target_fps
+              << " FPS";
+    if (m.depends_on) {
+      std::cout << "  (depends on " << models::task_code(*m.depends_on)
+                << ", " << workload::dependency_type_name(m.dependency)
+                << ", p=" << m.trigger_probability << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+
+  core::Harness harness(hw::make_accelerator(accel_id, pes));
+  const auto run = harness.run_once(*scenario, seed);
+  const auto score = core::score_scenario(run, core::ScoreConfig{});
+
+  core::ScenarioOutcome outcome;
+  outcome.score = score;
+  outcome.last_run = run;
+  core::print_scenario_report(std::cout, outcome);
+  std::cout << "\n";
+  core::print_timeline(std::cout, run, /*until_ms=*/500.0,
+                       /*resolution_ms=*/5.0);
+
+  const auto csv_path = "scenario_explorer_log.csv";
+  core::write_inference_log_csv(csv_path, run);
+  std::cout << "\nPer-inference log written to " << csv_path << "\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// xrbench_cli — full command-line front end to the harness, driven by flags
+// and/or the INI configs of hw::config_io / workload::scenario_io:
+//
+//   xrbench_cli [options]
+//     --accel <A..M>            Table-5 design (default J)
+//     --pes <n>                 total PEs (default 8192)
+//     --hw-config <file.ini>    load a custom accelerator system instead
+//     --scenario <name>         run one Table-2 scenario (default: all)
+//     --scenario-config <file>  run a custom scenario from an INI file
+//     --scheduler <name>        latency-greedy | round-robin | edf |
+//                               slack-aware
+//     --duration <ms>           run duration (default 1000)
+//     --trials <n>              trials for dynamic scenarios (default 20)
+//     --seed <n>                base seed (default 42)
+//     --no-jitter               disable sensor jitter
+//     --enmax <mJ>              energy-score Enmax (default 1500)
+//     --k <val>                 real-time sigmoid steepness (default 15)
+//     --csv <file>              dump per-scenario scores to CSV
+//     --timeline                print execution timelines
+//
+// Examples:
+//   xrbench_cli --accel M --pes 8192
+//   xrbench_cli --scenario "AR Gaming" --scheduler edf --timeline
+//   xrbench_cli --hw-config my_chip.ini --csv scores.csv
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/harness.h"
+#include "core/report.h"
+#include "hw/config_io.h"
+#include "workload/scenario_io.h"
+
+using namespace xrbench;
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "xrbench_cli: " << message
+            << "\nSee the header comment of examples/xrbench_cli.cpp for "
+               "usage.\n";
+  std::exit(2);
+}
+
+runtime::SchedulerKind parse_scheduler(const std::string& name) {
+  if (name == "latency-greedy") return runtime::SchedulerKind::kLatencyGreedy;
+  if (name == "round-robin") return runtime::SchedulerKind::kRoundRobin;
+  if (name == "edf") return runtime::SchedulerKind::kEdf;
+  if (name == "slack-aware") return runtime::SchedulerKind::kSlackAware;
+  usage_error("unknown scheduler '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  char accel_id = 'J';
+  std::int64_t pes = 8192;
+  std::optional<std::string> hw_config;
+  std::optional<std::string> scenario_name;
+  std::optional<std::string> scenario_config;
+  std::optional<std::string> csv_path;
+  bool timeline = false;
+  core::HarnessOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--accel") accel_id = next()[0];
+    else if (arg == "--pes") pes = std::stoll(next());
+    else if (arg == "--hw-config") hw_config = next();
+    else if (arg == "--scenario") scenario_name = next();
+    else if (arg == "--scenario-config") scenario_config = next();
+    else if (arg == "--scheduler") opt.scheduler = parse_scheduler(next());
+    else if (arg == "--duration") opt.run.duration_ms = std::stod(next());
+    else if (arg == "--trials") opt.dynamic_trials = std::stoi(next());
+    else if (arg == "--seed") opt.run.seed = std::stoull(next());
+    else if (arg == "--no-jitter") opt.run.enable_jitter = false;
+    else if (arg == "--enmax") opt.score.enmax_mj = std::stod(next());
+    else if (arg == "--k") opt.score.k = std::stod(next());
+    else if (arg == "--csv") csv_path = next();
+    else if (arg == "--timeline") timeline = true;
+    else usage_error("unknown option '" + arg + "'");
+  }
+
+  try {
+    const auto system = hw_config ? hw::load_accelerator(*hw_config)
+                                  : hw::make_accelerator(accel_id, pes);
+    core::Harness harness(system, opt);
+
+    if (scenario_name || scenario_config) {
+      const auto scenario = scenario_config
+                                ? workload::load_scenario(*scenario_config)
+                                : workload::scenario_by_name(*scenario_name);
+      const auto out = harness.run_scenario(scenario);
+      core::print_scenario_report(std::cout, out);
+      if (timeline) {
+        std::cout << "\n";
+        core::print_timeline(std::cout, out.last_run);
+      }
+      return 0;
+    }
+
+    const auto outcome = harness.run_suite();
+    core::print_benchmark_report(std::cout, outcome);
+    if (timeline) {
+      for (const auto& sc : outcome.scenarios) {
+        std::cout << "\n";
+        core::print_timeline(std::cout, sc.last_run, 400.0, 8.0);
+      }
+    }
+    if (csv_path) {
+      core::write_scores_csv(*csv_path, outcome);
+      std::cout << "\nScores written to " << *csv_path << "\n";
+    }
+    std::cout << "\nXRBench SCORE: " << outcome.score.overall << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "xrbench_cli: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

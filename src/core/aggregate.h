@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/score.h"
+#include "runtime/scenario_runner.h"
+
+namespace xrbench::core {
+
+/// Score summary of one model within one scenario run (Figure-4
+/// "per-model" stage plus unit-score breakdowns).
+struct ModelScore {
+  models::TaskId task = models::TaskId::kHT;
+  /// False when the model was never demanded during the run (a
+  /// control-dependent model whose upstream never triggered it). Inactive
+  /// models are excluded from the scenario-level means — no frames were
+  /// streamed to them, so neither QoE nor drops are defined.
+  bool active = true;
+  double rt = 0.0;        ///< Mean RtScore across executed inferences.
+  double energy = 0.0;    ///< Mean EnScore across executed inferences.
+  double accuracy = 0.0;  ///< AccScore of the model's quality goal.
+  double per_model = 0.0; ///< Mean per-inference product (0 if all dropped).
+  double qoe = 0.0;       ///< Executed / expected frames.
+  double combined = 0.0;  ///< per_model x qoe (scenario-stage contribution).
+  std::int64_t frames_expected = 0;
+  std::int64_t frames_executed = 0;
+  std::int64_t frames_dropped = 0;
+  std::int64_t deadline_misses = 0;
+};
+
+/// Score summary of one usage scenario (Figure-4 "per-usage-scenario").
+struct ScenarioScore {
+  std::string scenario_name;
+  std::vector<ModelScore> models;
+  // Breakdown scores reported in Figure 5: model-level means.
+  double realtime = 0.0;
+  double energy = 0.0;
+  double accuracy = 0.0;
+  double qoe = 0.0;
+  double overall = 0.0;  ///< Score_scn (Definition 15).
+  double total_energy_mj = 0.0;
+  double frame_drop_rate = 0.0;  ///< Dropped / expected, across models.
+
+  const ModelScore* find(models::TaskId task) const;
+};
+
+/// Benchmark-level summary (Definition 16: mean over scenarios).
+struct BenchmarkScore {
+  std::vector<ScenarioScore> scenarios;
+  double overall = 0.0;
+  double realtime = 0.0;
+  double energy = 0.0;
+  double qoe = 0.0;
+};
+
+/// Scores one scenario run (Box-2 aggregation over the run's records).
+ScenarioScore score_scenario(const runtime::ScenarioRunResult& run,
+                             const ScoreConfig& config);
+
+/// Averages several trial scores of the same scenario (dynamic workloads
+/// are stochastic; the paper averages repeated experiments, §4.3).
+ScenarioScore average_scores(const std::vector<ScenarioScore>& trials);
+
+/// Combines scenario scores into the benchmark score (Definition 16).
+BenchmarkScore combine_scenarios(std::vector<ScenarioScore> scenarios);
+
+}  // namespace xrbench::core

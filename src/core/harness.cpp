@@ -1,0 +1,55 @@
+#include "core/harness.h"
+
+namespace xrbench::core {
+
+Harness::Harness(hw::AcceleratorSystem system, HarnessOptions options)
+    : system_(std::move(system)),
+      options_(options),
+      cost_model_(options.energy),
+      cost_table_(
+          std::make_unique<runtime::CostTable>(system_, cost_model_)),
+      runner_(system_, *cost_table_) {}
+
+runtime::ScenarioRunResult Harness::run_once(
+    const workload::UsageScenario& scenario, std::uint64_t seed) const {
+  runtime::RunConfig cfg = options_.run;
+  cfg.seed = seed;
+  auto scheduler = runtime::make_scheduler(options_.scheduler);
+  scheduler->reset();
+  return runner_.run(scenario, *scheduler, cfg);
+}
+
+ScenarioOutcome Harness::run_scenario(
+    const workload::UsageScenario& scenario) const {
+  const int trials = workload::is_dynamic_scenario(scenario)
+                         ? std::max(1, options_.dynamic_trials)
+                         : 1;
+  std::vector<ScenarioScore> trial_scores;
+  trial_scores.reserve(static_cast<std::size_t>(trials));
+  runtime::ScenarioRunResult last;
+  for (int t = 0; t < trials; ++t) {
+    last = run_once(scenario, options_.run.seed + static_cast<std::uint64_t>(t));
+    trial_scores.push_back(score_scenario(last, options_.score));
+  }
+  ScenarioOutcome outcome;
+  outcome.score = average_scores(trial_scores);
+  outcome.last_run = std::move(last);
+  outcome.trials = trials;
+  return outcome;
+}
+
+BenchmarkOutcome Harness::run_suite() const {
+  BenchmarkOutcome outcome;
+  outcome.accelerator_id = system_.id;
+  outcome.total_pes = system_.total_pes();
+  std::vector<ScenarioScore> scores;
+  for (const auto& scenario : workload::benchmark_suite()) {
+    auto sc = run_scenario(scenario);
+    scores.push_back(sc.score);
+    outcome.scenarios.push_back(std::move(sc));
+  }
+  outcome.score = combine_scenarios(std::move(scores));
+  return outcome;
+}
+
+}  // namespace xrbench::core

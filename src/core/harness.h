@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/score.h"
+#include "costmodel/cost_model.h"
+#include "hw/accelerator.h"
+#include "runtime/scenario_runner.h"
+#include "workload/scenario.h"
+
+namespace xrbench::core {
+
+/// Harness-level options (the user-defined benchmark inputs of Figure 2).
+struct HarnessOptions {
+  runtime::RunConfig run;  ///< duration, seed, jitter
+  ScoreConfig score;
+  runtime::SchedulerKind scheduler =
+      runtime::SchedulerKind::kLatencyGreedy;
+  /// Trials averaged for dynamic (stochastic) scenarios; static scenarios
+  /// always run once. Paper runs 200 trials for the Figure-7 sweep.
+  int dynamic_trials = 20;
+  costmodel::EnergyParams energy;  ///< Cost-model energy constants.
+};
+
+/// Outcome of benchmarking one scenario on one accelerator system.
+struct ScenarioOutcome {
+  ScenarioScore score;              ///< Averaged over trials if dynamic.
+  runtime::ScenarioRunResult last_run;  ///< Raw result of the final trial.
+  int trials = 1;
+};
+
+/// Outcome of the full suite (all Table-2 scenarios).
+struct BenchmarkOutcome {
+  std::string accelerator_id;
+  std::int64_t total_pes = 0;
+  BenchmarkScore score;
+  std::vector<ScenarioOutcome> scenarios;
+};
+
+/// XRBench harness facade (Figure 2): wires the model zoo, the analytical
+/// cost model, the accelerator system, the runtime and the scoring module
+/// together behind two calls — run_scenario() and run_suite().
+///
+/// Typical use:
+///   auto system = hw::make_accelerator('J', 8192);
+///   core::Harness harness(system);
+///   auto outcome = harness.run_suite();
+///   std::cout << outcome.score.overall;
+class Harness {
+ public:
+  explicit Harness(hw::AcceleratorSystem system, HarnessOptions options = {});
+
+  const hw::AcceleratorSystem& system() const { return system_; }
+  const HarnessOptions& options() const { return options_; }
+  const runtime::CostTable& cost_table() const { return *cost_table_; }
+
+  /// One raw run of `scenario` with an explicit seed (no score averaging).
+  runtime::ScenarioRunResult run_once(const workload::UsageScenario& scenario,
+                                      std::uint64_t seed) const;
+
+  /// Benchmarks one scenario; dynamic scenarios are averaged over
+  /// options.dynamic_trials trials (seeds seed, seed+1, ...).
+  ScenarioOutcome run_scenario(const workload::UsageScenario& scenario) const;
+
+  /// Benchmarks every Table-2 scenario and combines them into the
+  /// XRBench score (Definition 16).
+  BenchmarkOutcome run_suite() const;
+
+ private:
+  hw::AcceleratorSystem system_;
+  HarnessOptions options_;
+  costmodel::AnalyticalCostModel cost_model_;
+  std::unique_ptr<runtime::CostTable> cost_table_;
+  runtime::ScenarioRunner runner_;
+};
+
+}  // namespace xrbench::core

@@ -1,0 +1,55 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xrbench::core {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.objectives.size() != b.objectives.size()) {
+    throw std::invalid_argument("dominates: dimensionality mismatch");
+  }
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.objectives.size(); ++i) {
+    if (a.objectives[i] < b.objectives[i]) return false;
+    if (a.objectives[i] > b.objectives[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_frontier(std::vector<ParetoPoint>& points) {
+  for (auto& p : points) p.dominated = false;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j || points[i].dominated) continue;
+      if (dominates(points[j], points[i])) {
+        points[i].dominated = true;
+        break;
+      }
+    }
+  }
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].dominated) frontier.push_back(i);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [&points](std::size_t a, std::size_t b) {
+              if (points[a].objectives.empty()) return false;
+              return points[a].objectives[0] > points[b].objectives[0];
+            });
+  return frontier;
+}
+
+ParetoPoint make_point(std::string label, const ScenarioScore& score) {
+  return ParetoPoint{std::move(label),
+                     {score.realtime, score.energy, score.qoe},
+                     false};
+}
+
+ParetoPoint make_point(std::string label, const BenchmarkScore& score) {
+  return ParetoPoint{std::move(label),
+                     {score.realtime, score.energy, score.qoe},
+                     false};
+}
+
+}  // namespace xrbench::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+
+namespace xrbench::core {
+
+/// Pareto-frontier analysis over benchmark results.
+///
+/// §3.7: "XRBench reveals all individual scores to users to facilitate
+/// Pareto frontier analysis, in addition to XRBench SCORE." This module
+/// implements that analysis: each candidate design becomes a point in a
+/// multi-objective space (higher is better on every axis) and the
+/// non-dominated subset is extracted.
+struct ParetoPoint {
+  std::string label;                ///< e.g. "J@8192"
+  std::vector<double> objectives;   ///< higher-is-better values
+  bool dominated = false;           ///< filled by pareto_frontier()
+};
+
+/// True when `a` dominates `b`: a is >= b on every objective and > on at
+/// least one. Both must have the same dimensionality (throws otherwise).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Marks dominated points and returns the indices of the non-dominated
+/// frontier, sorted by the first objective descending. Duplicate points
+/// are all kept on the frontier.
+std::vector<std::size_t> pareto_frontier(std::vector<ParetoPoint>& points);
+
+/// Convenience: builds a (realtime, energy, qoe) objective point from one
+/// scenario score.
+ParetoPoint make_point(std::string label, const ScenarioScore& score);
+
+/// Convenience: builds a (realtime, energy, qoe) point from benchmark-level
+/// averages.
+ParetoPoint make_point(std::string label, const BenchmarkScore& score);
+
+}  // namespace xrbench::core

@@ -1,0 +1,126 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace xrbench::core {
+
+using util::fmt_double;
+using util::fmt_percent;
+using util::TablePrinter;
+
+void print_benchmark_report(std::ostream& os,
+                            const BenchmarkOutcome& outcome) {
+  os << "XRBench report — accelerator " << outcome.accelerator_id << " ("
+     << outcome.total_pes << " PEs)\n";
+  TablePrinter table({"Usage Scenario", "Realtime", "Energy", "QoE",
+                      "Overall", "Drop rate", "Energy (mJ)"});
+  for (const auto& sc : outcome.scenarios) {
+    table.add_row({sc.score.scenario_name, fmt_double(sc.score.realtime),
+                   fmt_double(sc.score.energy), fmt_double(sc.score.qoe),
+                   fmt_double(sc.score.overall),
+                   fmt_percent(sc.score.frame_drop_rate),
+                   fmt_double(sc.score.total_energy_mj, 1)});
+  }
+  table.add_row({"XRBench SCORE (avg)", fmt_double(outcome.score.realtime),
+                 fmt_double(outcome.score.energy),
+                 fmt_double(outcome.score.qoe),
+                 fmt_double(outcome.score.overall), "-", "-"});
+  table.print(os);
+}
+
+void print_scenario_report(std::ostream& os, const ScenarioOutcome& outcome) {
+  const auto& sc = outcome.score;
+  os << "Scenario: " << sc.scenario_name << "  (trials: " << outcome.trials
+     << ")\n";
+  TablePrinter table({"Model", "FPS ok/total", "Drops", "Late", "Rt", "En",
+                      "Acc", "QoE", "Model x QoE"});
+  for (const auto& m : sc.models) {
+    table.add_row({models::task_code(m.task),
+                   std::to_string(m.frames_executed) + "/" +
+                       std::to_string(m.frames_expected),
+                   std::to_string(m.frames_dropped),
+                   std::to_string(m.deadline_misses), fmt_double(m.rt),
+                   fmt_double(m.energy), fmt_double(m.accuracy),
+                   fmt_double(m.qoe), fmt_double(m.combined)});
+  }
+  table.print(os);
+  os << "Scenario score: " << fmt_double(sc.overall)
+     << "  (Rt " << fmt_double(sc.realtime) << ", En " << fmt_double(sc.energy)
+     << ", QoE " << fmt_double(sc.qoe) << ")\n";
+}
+
+void print_timeline(std::ostream& os, const runtime::ScenarioRunResult& run,
+                    double until_ms, double resolution_ms) {
+  const std::size_t lanes = run.sub_accel_busy_ms.size();
+  const auto slices =
+      static_cast<std::size_t>(std::max(1.0, until_ms / resolution_ms));
+  std::vector<std::string> rows(lanes, std::string(slices, '.'));
+  for (const auto& bi : run.timeline) {
+    if (bi.sub_accel < 0 || static_cast<std::size_t>(bi.sub_accel) >= lanes) {
+      continue;
+    }
+    const auto from = static_cast<std::size_t>(
+        std::clamp(bi.start_ms / resolution_ms, 0.0,
+                   static_cast<double>(slices)));
+    const auto to = static_cast<std::size_t>(std::clamp(
+        bi.end_ms / resolution_ms + 1.0, 0.0, static_cast<double>(slices)));
+    const char glyph = models::task_code(bi.task)[0];
+    for (std::size_t s = from; s < to && s < slices; ++s) {
+      rows[static_cast<std::size_t>(bi.sub_accel)][s] = glyph;
+    }
+  }
+  os << "Execution timeline (" << run.scenario_name << ", 1 char = "
+     << resolution_ms << " ms, letter = first char of task code)\n";
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    os << "  sub-accel " << lane << " |" << rows[lane] << "|\n";
+  }
+}
+
+void write_inference_log_csv(const std::filesystem::path& path,
+                             const runtime::ScenarioRunResult& run) {
+  util::CsvWriter csv(path);
+  csv.header({"task", "frame", "treq_ms", "deadline_ms", "dispatch_ms",
+              "complete_ms", "latency_ms", "energy_mj", "sub_accel",
+              "dropped", "missed_deadline"});
+  for (const auto& m : run.per_model) {
+    for (const auto& rec : m.records) {
+      csv.row({models::task_code(rec.task), util::CsvWriter::cell(rec.frame),
+               util::CsvWriter::cell(rec.treq_ms),
+               util::CsvWriter::cell(rec.tdl_ms),
+               util::CsvWriter::cell(rec.dropped ? 0.0 : rec.dispatch_ms),
+               util::CsvWriter::cell(rec.dropped ? 0.0 : rec.complete_ms),
+               util::CsvWriter::cell(rec.dropped ? 0.0 : rec.latency_ms()),
+               util::CsvWriter::cell(rec.energy_mj),
+               util::CsvWriter::cell(rec.sub_accel),
+               rec.dropped ? "1" : "0",
+               rec.missed_deadline() ? "1" : "0"});
+    }
+  }
+}
+
+void write_scores_csv(const std::filesystem::path& path,
+                      const BenchmarkOutcome& outcome) {
+  util::CsvWriter csv(path);
+  csv.header({"accelerator", "total_pes", "scenario", "realtime", "energy",
+              "qoe", "overall", "drop_rate", "energy_mj"});
+  for (const auto& sc : outcome.scenarios) {
+    csv.row({outcome.accelerator_id, util::CsvWriter::cell(outcome.total_pes),
+             sc.score.scenario_name, util::CsvWriter::cell(sc.score.realtime),
+             util::CsvWriter::cell(sc.score.energy),
+             util::CsvWriter::cell(sc.score.qoe),
+             util::CsvWriter::cell(sc.score.overall),
+             util::CsvWriter::cell(sc.score.frame_drop_rate),
+             util::CsvWriter::cell(sc.score.total_energy_mj)});
+  }
+  csv.row({outcome.accelerator_id, util::CsvWriter::cell(outcome.total_pes),
+           "AVERAGE", util::CsvWriter::cell(outcome.score.realtime),
+           util::CsvWriter::cell(outcome.score.energy),
+           util::CsvWriter::cell(outcome.score.qoe),
+           util::CsvWriter::cell(outcome.score.overall), "", ""});
+}
+
+}  // namespace xrbench::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+#include "core/harness.h"
+
+namespace xrbench::core {
+
+/// Report generation (the "Benchmark Outputs" of Figure 2): human-readable
+/// score tables / timelines and machine-readable CSV dumps.
+
+/// Prints a Figure-5-style breakdown table (one row per scenario:
+/// real-time / energy / QoE / overall).
+void print_benchmark_report(std::ostream& os, const BenchmarkOutcome& outcome);
+
+/// Prints per-model detail for one scenario (frames, drops, deadline
+/// misses, unit scores).
+void print_scenario_report(std::ostream& os, const ScenarioOutcome& outcome);
+
+/// Renders a Figure-6-style ASCII execution timeline: one lane per
+/// sub-accelerator, one glyph per `resolution_ms` slice, letters keyed by
+/// task code.
+void print_timeline(std::ostream& os, const runtime::ScenarioRunResult& run,
+                    double until_ms = 600.0, double resolution_ms = 5.0);
+
+/// Dumps per-inference records of one run to CSV (task, frame, treq,
+/// deadline, dispatch, completion, latency, energy, dropped).
+void write_inference_log_csv(const std::filesystem::path& path,
+                             const runtime::ScenarioRunResult& run);
+
+/// Dumps the per-scenario score table of a benchmark outcome to CSV.
+void write_scores_csv(const std::filesystem::path& path,
+                      const BenchmarkOutcome& outcome);
+
+}  // namespace xrbench::core

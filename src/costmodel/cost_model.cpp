@@ -1,0 +1,280 @@
+#include "costmodel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xrbench::costmodel {
+namespace {
+
+double ceil_div(double a, double b) { return std::ceil(a / b); }
+
+std::int64_t bounded(std::int64_t dim, std::int64_t budget) {
+  return std::max<std::int64_t>(1, std::min(dim, budget));
+}
+
+}  // namespace
+
+const char* dataflow_name(Dataflow d) {
+  switch (d) {
+    case Dataflow::kWS: return "WS";
+    case Dataflow::kOS: return "OS";
+    case Dataflow::kRS: return "RS";
+  }
+  return "?";
+}
+
+Dataflow parse_dataflow(const std::string& s) {
+  std::string u;
+  for (char c : s) u += static_cast<char>(std::toupper(c));
+  if (u == "WS") return Dataflow::kWS;
+  if (u == "OS") return Dataflow::kOS;
+  if (u == "RS") return Dataflow::kRS;
+  throw std::invalid_argument("parse_dataflow: unknown dataflow '" + s + "'");
+}
+
+AnalyticalCostModel::AnalyticalCostModel(EnergyParams energy)
+    : energy_(energy) {}
+
+SpatialMapping AnalyticalCostModel::spatial_mapping(
+    const Layer& layer, Dataflow dataflow, std::int64_t num_pes) const {
+  SpatialMapping m;
+  if (is_vector_op(layer.type)) return m;
+  const bool dw = layer.type == OpType::kDepthwiseConv2d;
+  // Fixed array geometries (MAESTRO-style fixed dataflows): a layer whose
+  // dimensions undershoot a lane budget leaves those lanes idle — this is
+  // the under-utilization that makes dataflow choice matter per layer shape
+  // (the core effect behind the paper's Figures 5-7).
+  switch (dataflow) {
+    case Dataflow::kWS: {
+      // NVDLA-style 2D MAC array: output channels x input channels, with a
+      // narrow input-column vector lane. Lane budget: C fixed at 64,
+      // X fixed at 1 (columns stream temporally), K scales with the array.
+      const std::int64_t x_lanes = 1;
+      const std::int64_t c_lanes = 64;
+      const std::int64_t k_lanes =
+          std::max<std::int64_t>(1, num_pes / (x_lanes * c_lanes));
+      const std::int64_t kdim = dw ? layer.c : layer.k;
+      const std::int64_t cdim = dw ? 1 : layer.c;
+      m.p0 = bounded(kdim, k_lanes);
+      m.p1 = bounded(cdim, c_lanes);
+      m.p2 = bounded(layer.x, x_lanes);
+      break;
+    }
+    case Dataflow::kOS: {
+      // Output rows x cols, each output lane backed by a 16-way adder tree.
+      // Lane budget: Y fixed at 16, X scales with the array.
+      const std::int64_t y_lanes = 16;
+      const std::int64_t x_lanes = std::max<std::int64_t>(
+          1, num_pes / (y_lanes * kOsAdderTreeWidth));
+      m.p0 = bounded(layer.y, y_lanes);
+      m.p1 = bounded(layer.x, x_lanes);
+      const std::int64_t reduction = dw ? layer.r * layer.s : layer.c;
+      m.p2 = bounded(reduction, kOsAdderTreeWidth);
+      break;
+    }
+    case Dataflow::kRS: {
+      // Eyeriss-style: output channels x output rows x kernel rows.
+      // Lane budget: R fixed at 4, Y fixed at 16, K scales with the array.
+      const std::int64_t r_lanes = 4;
+      const std::int64_t y_lanes = 16;
+      const std::int64_t k_lanes =
+          std::max<std::int64_t>(1, num_pes / (r_lanes * y_lanes));
+      const std::int64_t kdim = dw ? layer.c : layer.k;
+      m.p0 = bounded(kdim, k_lanes);
+      m.p1 = bounded(layer.y, y_lanes);
+      m.p2 = bounded(layer.r, r_lanes);
+      break;
+    }
+  }
+  return m;
+}
+
+LayerCost AnalyticalCostModel::mac_layer_cost(
+    const Layer& layer, const SubAccelConfig& accel) const {
+  LayerCost cost;
+  const bool dw = layer.type == OpType::kDepthwiseConv2d;
+  const SpatialMapping m =
+      spatial_mapping(layer, accel.dataflow, accel.num_pes);
+  cost.mapping = m;
+
+  const auto macs = static_cast<double>(layer.macs());
+  const auto w_elems = static_cast<double>(layer.weight_bytes());
+  const auto in_elems = static_cast<double>(layer.input_bytes());
+  const auto out_elems = static_cast<double>(layer.output_bytes());
+
+  // --- Compute cycles: temporal iterations with ceil edge effects. ---------
+  double compute = 0.0;
+  double sram = 0.0;  // SRAM<->PE traffic in bytes (8-bit elements)
+  switch (accel.dataflow) {
+    case Dataflow::kWS: {
+      const double kdim = static_cast<double>(dw ? layer.c : layer.k);
+      const double cdim = static_cast<double>(dw ? 1 : layer.c);
+      compute = ceil_div(kdim, static_cast<double>(m.p0)) *
+                ceil_div(cdim, static_cast<double>(m.p1)) *
+                ceil_div(static_cast<double>(layer.x),
+                         static_cast<double>(m.p2)) *
+                static_cast<double>(layer.y) *
+                static_cast<double>(layer.r) * static_cast<double>(layer.s) *
+                (dw ? static_cast<double>(1) : 1.0);
+      // Weights loaded once and pinned; inputs multicast across the K lane;
+      // partial sums spill once per input-channel tile beyond the first.
+      const double c_tiles = ceil_div(cdim, static_cast<double>(m.p1));
+      sram = w_elems + macs / static_cast<double>(m.p0) +
+             out_elems * (2.0 * c_tiles - 1.0);
+      break;
+    }
+    case Dataflow::kOS: {
+      const double reduction =
+          dw ? static_cast<double>(layer.r * layer.s)
+             : static_cast<double>(layer.c);
+      const double other_reduction =
+          dw ? 1.0 : static_cast<double>(layer.r * layer.s);
+      const double kdim = static_cast<double>(dw ? layer.c : layer.k);
+      compute = ceil_div(static_cast<double>(layer.y),
+                         static_cast<double>(m.p0)) *
+                ceil_div(static_cast<double>(layer.x),
+                         static_cast<double>(m.p1)) *
+                kdim * ceil_div(reduction, static_cast<double>(m.p2)) *
+                other_reduction;
+      // Outputs stationary; weights multicast across the spatial output
+      // lanes; inputs stream into the tree with the better of halo
+      // (sliding-window) reuse across adjacent output pixels and local
+      // register reuse across output channels computed at the same pixel.
+      const double window_reuse = static_cast<double>(layer.r * layer.s);
+      const double k_reuse =
+          dw ? 1.0 : std::min<double>(static_cast<double>(layer.k), 16.0);
+      sram = out_elems + macs / static_cast<double>(m.p0 * m.p1) +
+             macs / std::max(window_reuse, k_reuse);
+      break;
+    }
+    case Dataflow::kRS: {
+      const double kdim = static_cast<double>(dw ? layer.c : layer.k);
+      const double cdim = static_cast<double>(dw ? 1 : layer.c);
+      compute = ceil_div(kdim, static_cast<double>(m.p0)) *
+                ceil_div(static_cast<double>(layer.y),
+                         static_cast<double>(m.p1)) *
+                ceil_div(static_cast<double>(layer.r),
+                         static_cast<double>(m.p2)) *
+                cdim * static_cast<double>(layer.x) *
+                static_cast<double>(layer.s);
+      // Weight rows rebroadcast once per output-row tile; inputs multicast
+      // across the K lane; psums accumulate spatially across kernel rows.
+      const double y_tiles =
+          ceil_div(static_cast<double>(layer.y), static_cast<double>(m.p1));
+      const double r_tiles =
+          ceil_div(static_cast<double>(layer.r), static_cast<double>(m.p2));
+      sram = w_elems * y_tiles + macs / static_cast<double>(m.p0) +
+             out_elems * (2.0 * r_tiles - 1.0);
+      break;
+    }
+  }
+
+  cost.compute_cycles = compute;
+  cost.sram_traffic_bytes = sram + in_elems;  // fills from DRAM land in SRAM
+  cost.noc_cycles = sram / accel.noc_bytes_per_cycle;
+  cost.dram_traffic_bytes = dram_traffic(layer, accel);
+  cost.dram_cycles = cost.dram_traffic_bytes / accel.offchip_bytes_per_cycle;
+  cost.total_cycles =
+      std::max({cost.compute_cycles, cost.noc_cycles, cost.dram_cycles}) +
+      kLayerOverheadCycles;
+  cost.latency_ms = cost.total_cycles / (accel.clock_ghz * 1e6);
+  cost.utilization =
+      macs / (cost.total_cycles * static_cast<double>(accel.num_pes));
+
+  const double pj = macs * energy_.mac_pj +
+                    cost.sram_traffic_bytes *
+                        (energy_.sram_pj_per_byte + energy_.noc_pj_per_byte) +
+                    cost.dram_traffic_bytes * energy_.dram_pj_per_byte;
+  const double static_mj = energy_.static_mw_per_pe *
+                           static_cast<double>(accel.num_pes) *
+                           cost.latency_ms * 1e-3;  // mW * ms = uJ; /1e3 -> mJ
+  cost.energy_mj = pj * 1e-9 + static_mj;
+  return cost;
+}
+
+LayerCost AnalyticalCostModel::vector_layer_cost(
+    const Layer& layer, const SubAccelConfig& accel) const {
+  LayerCost cost;
+  const auto ops = static_cast<double>(layer.macs());
+  const auto bytes = static_cast<double>(layer.input_bytes()) +
+                     static_cast<double>(layer.output_bytes());
+  cost.compute_cycles =
+      ops / (static_cast<double>(accel.num_pes) * kVectorOpEfficiency);
+  cost.sram_traffic_bytes = bytes;
+  cost.noc_cycles = bytes / accel.noc_bytes_per_cycle;
+  // Vector ops are typically fused with neighbours; only a fraction of their
+  // tensors round-trips to DRAM.
+  cost.dram_traffic_bytes = 0.25 * bytes;
+  cost.dram_cycles = cost.dram_traffic_bytes / accel.offchip_bytes_per_cycle;
+  cost.total_cycles =
+      std::max({cost.compute_cycles, cost.noc_cycles, cost.dram_cycles}) +
+      kLayerOverheadCycles;
+  cost.latency_ms = cost.total_cycles / (accel.clock_ghz * 1e6);
+  cost.utilization = 0.0;
+
+  const double pj =
+      ops * 0.5 * energy_.mac_pj +
+      cost.sram_traffic_bytes *
+          (energy_.sram_pj_per_byte + energy_.noc_pj_per_byte) +
+      cost.dram_traffic_bytes * energy_.dram_pj_per_byte;
+  const double static_mj = energy_.static_mw_per_pe *
+                           static_cast<double>(accel.num_pes) *
+                           cost.latency_ms * 1e-3;
+  cost.energy_mj = pj * 1e-9 + static_mj;
+  return cost;
+}
+
+double AnalyticalCostModel::dram_traffic(const Layer& layer,
+                                         const SubAccelConfig& accel) const {
+  const auto w = static_cast<double>(layer.weight_bytes());
+  const auto in = static_cast<double>(layer.input_bytes());
+  const auto out = static_cast<double>(layer.output_bytes());
+  const double half_sram = static_cast<double>(accel.sram_bytes) / 2.0;
+  if (w <= half_sram && in <= half_sram) {
+    return w + in + out;  // single pass
+  }
+  // Choose the cheaper re-streaming strategy: inputs per weight tile, or
+  // weights per input tile.
+  const double by_weight_tiles = w + in * ceil_div(w, half_sram) + out;
+  const double by_input_tiles = in + w * ceil_div(in, half_sram) + out;
+  return std::min(by_weight_tiles, by_input_tiles);
+}
+
+LayerCost AnalyticalCostModel::layer_cost(const Layer& layer,
+                                          const SubAccelConfig& accel) const {
+  if (!layer.valid()) {
+    throw std::invalid_argument("layer_cost: invalid layer '" + layer.name +
+                                "'");
+  }
+  if (!accel.valid()) {
+    throw std::invalid_argument("layer_cost: invalid accelerator config '" +
+                                accel.id + "'");
+  }
+  return is_vector_op(layer.type) ? vector_layer_cost(layer, accel)
+                                  : mac_layer_cost(layer, accel);
+}
+
+ModelCost AnalyticalCostModel::model_cost(const ModelGraph& graph,
+                                          const SubAccelConfig& accel) const {
+  ModelCost mc;
+  double mac_weighted_util = 0.0;
+  double total_macs = 0.0;
+  mc.layers.reserve(graph.num_layers());
+  for (const auto& layer : graph.layers()) {
+    LayerCost lc = layer_cost(layer, accel);
+    mc.latency_ms += lc.latency_ms;
+    mc.energy_mj += lc.energy_mj;
+    mc.dram_traffic_bytes += lc.dram_traffic_bytes;
+    if (!is_vector_op(layer.type)) {
+      const auto macs = static_cast<double>(layer.macs());
+      mac_weighted_util += lc.utilization * macs;
+      total_macs += macs;
+    }
+    mc.layers.push_back(std::move(lc));
+  }
+  mc.avg_utilization = total_macs > 0 ? mac_weighted_util / total_macs : 0.0;
+  return mc;
+}
+
+}  // namespace xrbench::costmodel

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "costmodel/dataflow.h"
+#include "costmodel/graph.h"
+#include "costmodel/layer.h"
+
+namespace xrbench::costmodel {
+
+/// One sub-accelerator: a PE array with a fixed dataflow plus its share of
+/// the chip's SRAM / NoC / off-chip bandwidth (Table 5 partitions a 4K- or
+/// 8K-PE chip into 1, 2 or 4 such instances).
+struct SubAccelConfig {
+  std::string id;                      ///< e.g. "J.0"
+  Dataflow dataflow = Dataflow::kWS;
+  std::int64_t num_pes = 4096;
+  double clock_ghz = 1.0;
+  double noc_bytes_per_cycle = 256.0;   ///< 256 GB/s at 1 GHz (paper §4.1).
+  double offchip_bytes_per_cycle = 24.0;///< Wearable LPDDR-class share.
+  std::int64_t sram_bytes = 8ll << 20;  ///< 8 MiB shared memory (paper §4.1).
+
+  bool valid() const {
+    return num_pes > 0 && clock_ghz > 0 && noc_bytes_per_cycle > 0 &&
+           offchip_bytes_per_cycle > 0 && sram_bytes > 0;
+  }
+};
+
+/// Energy model constants (8-bit datapath). Values are in picojoules and
+/// chosen from the usual CMOS accounting (MAC << SRAM << DRAM); see
+/// DESIGN.md for the calibration note.
+struct EnergyParams {
+  double mac_pj = 1.0;             ///< Energy per 8-bit MAC.
+  double sram_pj_per_byte = 6.0;   ///< SRAM read/write per byte.
+  double noc_pj_per_byte = 2.0;    ///< On-chip network transfer per byte.
+  double dram_pj_per_byte = 160.0; ///< Off-chip access per byte.
+  double static_mw_per_pe = 0.25;  ///< Leakage/clock power per PE.
+};
+
+/// Cost of one layer on one sub-accelerator.
+struct LayerCost {
+  double compute_cycles = 0.0;
+  double noc_cycles = 0.0;
+  double dram_cycles = 0.0;
+  double total_cycles = 0.0;  ///< max of the three + fixed overhead
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  double utilization = 0.0;       ///< MACs / (total_cycles * PEs); 0 for vector ops
+  double sram_traffic_bytes = 0.0;
+  double dram_traffic_bytes = 0.0;
+  SpatialMapping mapping;
+};
+
+/// Cost of a whole model (layer-sequential execution).
+struct ModelCost {
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  double avg_utilization = 0.0;  ///< MAC-weighted average across MAC layers.
+  double dram_traffic_bytes = 0.0;
+  std::vector<LayerCost> layers;
+};
+
+/// MAESTRO-style analytical cost model.
+///
+/// For each (layer, dataflow, PE count) it derives a greedy spatial mapping,
+/// temporal iteration counts with edge effects (ceil divisions), per-level
+/// traffic with dataflow-specific reuse, and a roofline latency
+/// max(compute, NoC, DRAM). Energy combines MAC, SRAM+NoC, DRAM and static
+/// components. See DESIGN.md §2 for the substitution rationale vs. the
+/// MAESTRO binary used by the paper's artifact.
+class AnalyticalCostModel {
+ public:
+  explicit AnalyticalCostModel(EnergyParams energy = {});
+
+  /// Greedy spatial unrolling of `layer` under `dataflow` over `num_pes`.
+  /// Exposed for tests/ablations. MAC ops only (vector ops have no mapping).
+  SpatialMapping spatial_mapping(const Layer& layer, Dataflow dataflow,
+                                 std::int64_t num_pes) const;
+
+  LayerCost layer_cost(const Layer& layer, const SubAccelConfig& accel) const;
+
+  ModelCost model_cost(const ModelGraph& graph,
+                       const SubAccelConfig& accel) const;
+
+  const EnergyParams& energy_params() const { return energy_; }
+
+  /// Fixed per-layer control/pipeline-fill overhead in cycles.
+  static constexpr double kLayerOverheadCycles = 500.0;
+
+  /// Vector ops run on the PE array as SIMD lanes at reduced efficiency.
+  static constexpr double kVectorOpEfficiency = 0.25;
+
+ private:
+  LayerCost mac_layer_cost(const Layer& layer,
+                           const SubAccelConfig& accel) const;
+  LayerCost vector_layer_cost(const Layer& layer,
+                              const SubAccelConfig& accel) const;
+
+  /// DRAM traffic with SRAM-capacity-driven re-fetch (choose the cheaper of
+  /// re-streaming inputs per weight tile or weights per input tile).
+  double dram_traffic(const Layer& layer, const SubAccelConfig& accel) const;
+
+  EnergyParams energy_;
+};
+
+}  // namespace xrbench::costmodel

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+namespace xrbench::costmodel {
+
+/// Accelerator dataflow styles evaluated in the paper (Table 5).
+///
+/// * WS — weight-stationary, NVDLA-inspired: parallelizes output channels,
+///   input channels, and input columns; weights pinned in PE registers.
+/// * OS — output-stationary, hand-optimized: parallelizes output rows and
+///   columns with a 16-way adder tree reducing input-channel partial sums.
+/// * RS — row-stationary, Eyeriss-inspired: parallelizes output channels,
+///   output rows, and kernel rows.
+enum class Dataflow { kWS, kOS, kRS };
+
+const char* dataflow_name(Dataflow d);
+
+/// Parses "WS"/"OS"/"RS" (case-insensitive). Throws std::invalid_argument.
+Dataflow parse_dataflow(const std::string& s);
+
+/// Width of the OS adder tree reducing input channels (paper: 16-way).
+inline constexpr std::int64_t kOsAdderTreeWidth = 16;
+
+/// Spatial unrolling of one dataflow over a PE array for one layer shape.
+/// Produced by the cost model; exposed for tests and ablation benches.
+struct SpatialMapping {
+  std::int64_t p0 = 1;  ///< PEs along the first parallel dimension.
+  std::int64_t p1 = 1;  ///< PEs along the second parallel dimension.
+  std::int64_t p2 = 1;  ///< PEs along the third parallel dimension.
+
+  std::int64_t active_pes() const { return p0 * p1 * p2; }
+};
+
+}  // namespace xrbench::costmodel

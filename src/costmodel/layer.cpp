@@ -1,0 +1,231 @@
+#include "costmodel/layer.h"
+
+namespace xrbench::costmodel {
+
+const char* op_type_name(OpType t) {
+  switch (t) {
+    case OpType::kConv2d: return "CONV2D";
+    case OpType::kDepthwiseConv2d: return "DWCONV";
+    case OpType::kFullyConnected: return "FC";
+    case OpType::kMatMul: return "MATMUL";
+    case OpType::kPool: return "POOL";
+    case OpType::kElementwise: return "ELTWISE";
+    case OpType::kLayerNorm: return "LAYERNORM";
+    case OpType::kSoftmax: return "SOFTMAX";
+    case OpType::kUpsample: return "UPSAMPLE";
+    case OpType::kRoiAlign: return "ROIALIGN";
+  }
+  return "?";
+}
+
+bool is_vector_op(OpType t) {
+  switch (t) {
+    case OpType::kConv2d:
+    case OpType::kDepthwiseConv2d:
+    case OpType::kFullyConnected:
+    case OpType::kMatMul:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::int64_t Layer::macs() const {
+  switch (type) {
+    case OpType::kConv2d:
+    case OpType::kFullyConnected:
+    case OpType::kMatMul:
+      return k * c * y * x * r * s;
+    case OpType::kDepthwiseConv2d:
+      // K == C, one filter per channel.
+      return c * y * x * r * s;
+    case OpType::kLayerNorm:
+    case OpType::kSoftmax:
+      return 2 * elems;  // two passes (stats, then normalize)
+    default:
+      return elems;
+  }
+}
+
+std::int64_t Layer::params() const {
+  switch (type) {
+    case OpType::kConv2d:
+    case OpType::kFullyConnected:
+    case OpType::kMatMul:
+      return k * c * r * s + k;  // weights + bias
+    case OpType::kDepthwiseConv2d:
+      return c * r * s + c;
+    case OpType::kLayerNorm:
+      // Per-feature scale and shift: elems = tokens * dim; dim params would
+      // require storing dim, so approximate with 2 * (elems / max(y,1)).
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+std::int64_t Layer::input_bytes() const {
+  switch (type) {
+    case OpType::kConv2d:
+    case OpType::kFullyConnected:
+    case OpType::kMatMul: {
+      // Input spatial dims reconstructed from output + kernel (stride was
+      // folded already; this is an upper bound good enough for traffic).
+      const std::int64_t in_h = y + r - 1;
+      const std::int64_t in_w = x + s - 1;
+      return c * in_h * in_w;
+    }
+    case OpType::kDepthwiseConv2d: {
+      const std::int64_t in_h = y + r - 1;
+      const std::int64_t in_w = x + s - 1;
+      return c * in_h * in_w;
+    }
+    default:
+      return elems;
+  }
+}
+
+std::int64_t Layer::weight_bytes() const { return params(); }
+
+std::int64_t Layer::output_bytes() const {
+  switch (type) {
+    case OpType::kConv2d:
+    case OpType::kFullyConnected:
+    case OpType::kMatMul:
+      return k * y * x;
+    case OpType::kDepthwiseConv2d:
+      return c * y * x;
+    default:
+      return elems;
+  }
+}
+
+bool Layer::valid() const {
+  if (k < 1 || c < 1 || y < 1 || x < 1 || r < 1 || s < 1) return false;
+  if (is_vector_op(type) && elems <= 0) return false;
+  return true;
+}
+
+namespace {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+Layer conv2d(std::string name, std::int64_t in_ch, std::int64_t out_ch,
+             std::int64_t in_h, std::int64_t in_w, std::int64_t kernel,
+             std::int64_t stride) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kConv2d;
+  l.k = out_ch;
+  l.c = in_ch;
+  l.y = ceil_div(in_h, stride);
+  l.x = ceil_div(in_w, stride);
+  l.r = kernel;
+  l.s = kernel;
+  return l;
+}
+
+Layer dwconv2d(std::string name, std::int64_t channels, std::int64_t in_h,
+               std::int64_t in_w, std::int64_t kernel, std::int64_t stride) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kDepthwiseConv2d;
+  l.k = channels;
+  l.c = channels;
+  l.y = ceil_div(in_h, stride);
+  l.x = ceil_div(in_w, stride);
+  l.r = kernel;
+  l.s = kernel;
+  return l;
+}
+
+Layer deconv2d(std::string name, std::int64_t in_ch, std::int64_t out_ch,
+               std::int64_t in_h, std::int64_t in_w, std::int64_t kernel,
+               std::int64_t upscale) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kConv2d;
+  l.k = out_ch;
+  l.c = in_ch;
+  l.y = in_h * upscale;
+  l.x = in_w * upscale;
+  l.r = kernel;
+  l.s = kernel;
+  return l;
+}
+
+Layer fully_connected(std::string name, std::int64_t in_dim,
+                      std::int64_t out_dim) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kFullyConnected;
+  l.k = out_dim;
+  l.c = in_dim;
+  return l;
+}
+
+Layer matmul(std::string name, std::int64_t m, std::int64_t kdim,
+             std::int64_t n) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kMatMul;
+  l.k = n;
+  l.c = kdim;
+  l.x = m;
+  return l;
+}
+
+Layer pool(std::string name, std::int64_t channels, std::int64_t out_h,
+           std::int64_t out_w, std::int64_t window) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kPool;
+  l.elems = channels * out_h * out_w * window * window;
+  return l;
+}
+
+Layer elementwise(std::string name, std::int64_t elems) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kElementwise;
+  l.elems = elems;
+  return l;
+}
+
+Layer layer_norm(std::string name, std::int64_t tokens, std::int64_t dim) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kLayerNorm;
+  l.elems = tokens * dim;
+  return l;
+}
+
+Layer softmax(std::string name, std::int64_t rows, std::int64_t cols) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kSoftmax;
+  l.elems = rows * cols;
+  return l;
+}
+
+Layer upsample(std::string name, std::int64_t channels, std::int64_t out_h,
+               std::int64_t out_w) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kUpsample;
+  l.elems = channels * out_h * out_w;
+  return l;
+}
+
+Layer roi_align(std::string name, std::int64_t num_rois, std::int64_t channels,
+                std::int64_t pooled_size) {
+  Layer l;
+  l.name = std::move(name);
+  l.type = OpType::kRoiAlign;
+  l.elems = num_rois * channels * pooled_size * pooled_size;
+  return l;
+}
+
+}  // namespace xrbench::costmodel

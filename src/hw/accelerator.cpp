@@ -1,0 +1,138 @@
+#include "hw/accelerator.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace xrbench::hw {
+
+using costmodel::Dataflow;
+using costmodel::SubAccelConfig;
+
+const char* accel_style_name(AccelStyle s) {
+  switch (s) {
+    case AccelStyle::kFDA: return "FDA";
+    case AccelStyle::kSFDA: return "SFDA";
+    case AccelStyle::kHDA: return "HDA";
+  }
+  return "?";
+}
+
+std::int64_t AcceleratorSystem::total_pes() const {
+  std::int64_t total = 0;
+  for (const auto& sa : sub_accels) total += sa.num_pes;
+  return total;
+}
+
+namespace {
+
+/// One Table-5 row: style plus the dataflow of each partition and its
+/// weight in the PE split.
+struct Design {
+  AccelStyle style;
+  std::string desc;
+  std::vector<std::pair<Dataflow, int>> parts;  // (dataflow, ratio weight)
+};
+
+Design design_for(char id) {
+  using enum Dataflow;
+  switch (id) {
+    // FDA: single instance.
+    case 'A': return {AccelStyle::kFDA, "WS", {{kWS, 1}}};
+    case 'B': return {AccelStyle::kFDA, "OS", {{kOS, 1}}};
+    case 'C': return {AccelStyle::kFDA, "RS", {{kRS, 1}}};
+    // SFDA: homogeneous scale-out.
+    case 'D':
+      return {AccelStyle::kSFDA, "WS + WS (1:1 partitioning)",
+              {{kWS, 1}, {kWS, 1}}};
+    case 'E':
+      return {AccelStyle::kSFDA, "OS + OS (1:1 partitioning)",
+              {{kOS, 1}, {kOS, 1}}};
+    case 'F':
+      return {AccelStyle::kSFDA, "RS + RS (1:1 partitioning)",
+              {{kRS, 1}, {kRS, 1}}};
+    case 'G':
+      return {AccelStyle::kSFDA, "WS + WS + WS + WS (1:1:1:1 partitioning)",
+              {{kWS, 1}, {kWS, 1}, {kWS, 1}, {kWS, 1}}};
+    case 'H':
+      return {AccelStyle::kSFDA, "OS + OS + OS + OS (1:1:1:1 partitioning)",
+              {{kOS, 1}, {kOS, 1}, {kOS, 1}, {kOS, 1}}};
+    case 'I':
+      return {AccelStyle::kSFDA, "RS + RS + RS + RS (1:1:1:1 partitioning)",
+              {{kRS, 1}, {kRS, 1}, {kRS, 1}, {kRS, 1}}};
+    // HDA: heterogeneous dataflows (Herald-style).
+    case 'J':
+      return {AccelStyle::kHDA, "WS + OS (1:1 partitioning)",
+              {{kWS, 1}, {kOS, 1}}};
+    case 'K':
+      return {AccelStyle::kHDA, "WS + OS (3:1 partitioning)",
+              {{kWS, 3}, {kOS, 1}}};
+    case 'L':
+      return {AccelStyle::kHDA, "WS + OS (1:3 partitioning)",
+              {{kWS, 1}, {kOS, 3}}};
+    case 'M':
+      return {AccelStyle::kHDA, "WS + OS + WS + OS (1:1:1:1 partitioning)",
+              {{kWS, 1}, {kOS, 1}, {kWS, 1}, {kOS, 1}}};
+    default:
+      throw std::invalid_argument(std::string("make_accelerator: unknown id '") +
+                                  id + "' (expected 'A'..'M')");
+  }
+}
+
+}  // namespace
+
+AcceleratorSystem make_accelerator(char id, const ChipResources& res) {
+  if (res.total_pes <= 0) {
+    throw std::invalid_argument("make_accelerator: total_pes must be > 0");
+  }
+  const Design design = design_for(id);
+  AcceleratorSystem sys;
+  sys.id = std::string(1, id);
+  sys.style = design.style;
+  sys.dataflow_desc = design.desc;
+
+  const int ratio_sum = std::accumulate(
+      design.parts.begin(), design.parts.end(), 0,
+      [](int acc, const auto& p) { return acc + p.second; });
+
+  for (std::size_t i = 0; i < design.parts.size(); ++i) {
+    const auto& [dataflow, weight] = design.parts[i];
+    const double share = static_cast<double>(weight) / ratio_sum;
+    SubAccelConfig sa;
+    sa.id = sys.id + "." + std::to_string(i);
+    sa.dataflow = dataflow;
+    sa.num_pes = static_cast<std::int64_t>(
+        static_cast<double>(res.total_pes) * share);
+    sa.clock_ghz = res.clock_ghz;
+    // On-chip and off-chip bandwidth and SRAM are carved proportionally to
+    // the PE share (the chip's NoC and memory are banked per partition).
+    sa.noc_bytes_per_cycle = res.noc_gbps / res.clock_ghz * share;
+    sa.offchip_bytes_per_cycle = res.offchip_gbps / res.clock_ghz * share;
+    sa.sram_bytes =
+        static_cast<std::int64_t>(static_cast<double>(res.sram_bytes) * share);
+    sys.sub_accels.push_back(std::move(sa));
+  }
+  return sys;
+}
+
+AcceleratorSystem make_accelerator(char id, std::int64_t total_pes) {
+  ChipResources res;
+  res.total_pes = total_pes;
+  return make_accelerator(id, res);
+}
+
+const std::vector<char>& accelerator_ids() {
+  static const std::vector<char> ids = {'A', 'B', 'C', 'D', 'E', 'F', 'G',
+                                        'H', 'I', 'J', 'K', 'L', 'M'};
+  return ids;
+}
+
+std::vector<AcceleratorSystem> all_accelerators(std::int64_t total_pes) {
+  std::vector<AcceleratorSystem> systems;
+  systems.reserve(accelerator_ids().size());
+  for (char id : accelerator_ids()) {
+    systems.push_back(make_accelerator(id, total_pes));
+  }
+  return systems;
+}
+
+}  // namespace xrbench::hw

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+
+namespace xrbench::hw {
+
+/// Accelerator system styles evaluated in the paper (Table 5).
+enum class AccelStyle {
+  kFDA,   ///< Fixed-dataflow accelerator: one monolithic instance.
+  kSFDA,  ///< Scaled-out multi-FDA: 2 or 4 instances, same dataflow.
+  kHDA,   ///< Heterogeneous dataflow accelerator: mixed WS/OS instances.
+};
+
+const char* accel_style_name(AccelStyle s);
+
+/// Chip-level resources shared by all sub-accelerators (paper §4.1):
+/// 4K/8K PEs, 256 GB/s on-chip bandwidth, 8 MiB shared SRAM, 1 GHz.
+/// Off-chip bandwidth models an LPDDR-class interface.
+struct ChipResources {
+  std::int64_t total_pes = 4096;
+  double clock_ghz = 1.0;
+  double noc_gbps = 256.0;
+  double offchip_gbps = 24.0;
+  std::int64_t sram_bytes = 8ll << 20;
+};
+
+/// A full accelerator system: 1-4 sub-accelerators carved out of one chip.
+struct AcceleratorSystem {
+  std::string id;     ///< "A".."M" (Table 5 row).
+  AccelStyle style = AccelStyle::kFDA;
+  std::string dataflow_desc;  ///< e.g. "WS + OS (3:1 partitioning)"
+  std::vector<costmodel::SubAccelConfig> sub_accels;
+
+  std::int64_t total_pes() const;
+  std::size_t num_sub_accels() const { return sub_accels.size(); }
+};
+
+/// Builds one of the 13 Table-5 designs ('A'..'M') on a chip with
+/// `resources`. Chip resources (PEs, NoC, SRAM, off-chip BW) are divided
+/// across sub-accelerators proportionally to their PE share.
+/// Throws std::invalid_argument for an unknown id.
+AcceleratorSystem make_accelerator(char id, const ChipResources& resources);
+
+/// Convenience: design `id` at `total_pes` with the default §4.1 resources.
+AcceleratorSystem make_accelerator(char id, std::int64_t total_pes);
+
+/// All 13 designs A..M at the given chip size.
+std::vector<AcceleratorSystem> all_accelerators(std::int64_t total_pes);
+
+/// The Table-5 id letters in order.
+const std::vector<char>& accelerator_ids();
+
+}  // namespace xrbench::hw

@@ -1,0 +1,92 @@
+#include "hw/config_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/ini.h"
+
+namespace xrbench::hw {
+
+AccelStyle parse_accel_style(const std::string& name) {
+  if (name == "FDA") return AccelStyle::kFDA;
+  if (name == "SFDA") return AccelStyle::kSFDA;
+  if (name == "HDA") return AccelStyle::kHDA;
+  throw std::invalid_argument("parse_accel_style: unknown style '" + name +
+                              "'");
+}
+
+std::string to_config_text(const AcceleratorSystem& system) {
+  util::IniDocument doc;
+  auto& chip = doc.add_section("chip");
+  chip.set("id", system.id);
+  chip.set("style", accel_style_name(system.style));
+  chip.set("dataflow_desc", system.dataflow_desc);
+  if (!system.sub_accels.empty()) {
+    chip.set_double("clock_ghz", system.sub_accels.front().clock_ghz);
+  }
+  for (const auto& sa : system.sub_accels) {
+    auto& sec = doc.add_section("sub_accel");
+    sec.set("dataflow", costmodel::dataflow_name(sa.dataflow));
+    sec.set_int("num_pes", sa.num_pes);
+    sec.set_double("noc_gbps", sa.noc_bytes_per_cycle * sa.clock_ghz);
+    sec.set_double("offchip_gbps", sa.offchip_bytes_per_cycle * sa.clock_ghz);
+    sec.set_int("sram_kib", sa.sram_bytes / 1024);
+  }
+  return doc.to_string();
+}
+
+AcceleratorSystem from_config_text(const std::string& text) {
+  const auto doc = util::IniDocument::parse(text);
+  const auto& chip = doc.section("chip");
+
+  AcceleratorSystem system;
+  system.id = chip.get_or("id", "custom");
+  system.style = parse_accel_style(chip.get_or("style", "FDA"));
+  system.dataflow_desc = chip.get_or("dataflow_desc", "");
+  const double clock = chip.has("clock_ghz") ? chip.get_double("clock_ghz")
+                                             : 1.0;
+  if (clock <= 0.0) {
+    throw std::invalid_argument("accelerator config: clock_ghz must be > 0");
+  }
+
+  const auto subs = doc.sections("sub_accel");
+  if (subs.empty()) {
+    throw std::invalid_argument(
+        "accelerator config: at least one [sub_accel] section is required");
+  }
+  std::size_t index = 0;
+  for (const auto* sec : subs) {
+    costmodel::SubAccelConfig sa;
+    sa.id = system.id + "." + std::to_string(index++);
+    sa.dataflow = costmodel::parse_dataflow(sec->get("dataflow"));
+    sa.num_pes = sec->get_int("num_pes");
+    sa.clock_ghz = clock;
+    sa.noc_bytes_per_cycle = sec->get_double("noc_gbps") / clock;
+    sa.offchip_bytes_per_cycle = sec->get_double("offchip_gbps") / clock;
+    sa.sram_bytes = sec->get_int("sram_kib") * 1024;
+    if (!sa.valid()) {
+      throw std::invalid_argument(
+          "accelerator config: invalid [sub_accel] resources for " + sa.id);
+    }
+    system.sub_accels.push_back(std::move(sa));
+  }
+  return system;
+}
+
+void save_accelerator(const AcceleratorSystem& system,
+                      const std::filesystem::path& path) {
+  util::IniDocument::parse(to_config_text(system)).save(path);
+}
+
+AcceleratorSystem load_accelerator(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_accelerator: cannot read " + path.string());
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return from_config_text(ss.str());
+}
+
+}  // namespace xrbench::hw

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "hw/accelerator.h"
+
+namespace xrbench::hw {
+
+/// Text-config serialization of accelerator systems (the artifact's
+/// "hw_configs"-style customization, appendix D.7). Format:
+///
+///   [chip]
+///   id = J
+///   style = HDA
+///   clock_ghz = 1.0
+///
+///   [sub_accel]            ; one section per sub-accelerator
+///   dataflow = WS
+///   num_pes = 4096
+///   noc_gbps = 128
+///   offchip_gbps = 12
+///   sram_kib = 4096
+///
+/// Ratios/partitioning are explicit per sub-accelerator, so arbitrary
+/// systems beyond Table 5 can be described.
+
+/// Serializes a system to INI text.
+std::string to_config_text(const AcceleratorSystem& system);
+
+/// Parses a system from INI text. Throws std::invalid_argument on
+/// malformed configs (no sub-accelerators, bad dataflow, non-positive
+/// resources).
+AcceleratorSystem from_config_text(const std::string& text);
+
+/// File variants.
+void save_accelerator(const AcceleratorSystem& system,
+                      const std::filesystem::path& path);
+AcceleratorSystem load_accelerator(const std::filesystem::path& path);
+
+/// Parses an accelerator style name ("FDA"/"SFDA"/"HDA").
+AccelStyle parse_accel_style(const std::string& name);
+
+}  // namespace xrbench::hw

@@ -1,0 +1,51 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::elementwise;
+using costmodel::ModelGraph;
+
+/// AS — ED-TCN (Lea et al., CVPR 2017): encoder-decoder temporal
+/// convolutional network for action segmentation on GTEA.
+///
+/// Input: a sliding window of T=64 frame-level feature vectors (2048-d
+/// spatial CNN features, computed upstream in the pipeline). 1D temporal
+/// convolutions are lowered as conv2d with a singleton row and the temporal
+/// kernel on the column axis.
+ModelGraph build_action_segmentation() {
+  ModelGraph g("AS.ED-TCN");
+  constexpr std::int64_t kT = 64;
+  constexpr std::int64_t kFeat = 2048;
+  constexpr std::int64_t kTemporalKernel = 25;
+
+  auto temporal_conv = [&g](const std::string& name, std::int64_t in_ch,
+                            std::int64_t out_ch, std::int64_t t) {
+    costmodel::Layer l = conv2d(name, in_ch, out_ch, 1, t, 1, 1);
+    l.s = kTemporalKernel;
+    g.add(l);
+    g.add(elementwise(name + ".norm_relu", out_ch * t));
+  };
+
+  // Feature reduction then encoder: temporal conv + 2x maxpool, twice.
+  g.add(conv2d("enc.reduce", kFeat, 96, 1, kT, 1, 1));
+  temporal_conv("enc0.tconv", 96, 96, kT);
+  g.add(costmodel::pool("enc0.pool", 96, 1, kT / 2, 2));
+  temporal_conv("enc1.tconv", 96, 192, kT / 2);
+  g.add(costmodel::pool("enc1.pool", 192, 1, kT / 4, 2));
+
+  // Decoder: upsample + temporal conv, back to T.
+  g.add(costmodel::upsample("dec1.up", 192, 1, kT / 2));
+  temporal_conv("dec1.tconv", 192, 96, kT / 2);
+  g.add(costmodel::upsample("dec0.up", 96, 1, kT));
+  temporal_conv("dec0.tconv", 96, 96, kT);
+
+  // Per-frame classification over 11 GTEA action classes.
+  g.add(conv2d("head.classes", 96, 11, 1, kT, 1, 1));
+  g.add(elementwise("head.softmax", 11 * kT));
+  return g;
+}
+
+}  // namespace xrbench::models

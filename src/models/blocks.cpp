@@ -1,0 +1,116 @@
+#include "models/blocks.h"
+
+#include "costmodel/layer.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::dwconv2d;
+using costmodel::elementwise;
+using costmodel::layer_norm;
+using costmodel::matmul;
+using costmodel::ModelGraph;
+using costmodel::softmax;
+using costmodel::upsample;
+
+namespace {
+std::int64_t out_dim(std::int64_t in, std::int64_t stride) {
+  return (in + stride - 1) / stride;
+}
+}  // namespace
+
+SpatialDims conv_bn_relu(ModelGraph& g, const std::string& name,
+                         std::int64_t in_ch, std::int64_t out_ch,
+                         SpatialDims in, std::int64_t kernel,
+                         std::int64_t stride) {
+  g.add(conv2d(name + ".conv", in_ch, out_ch, in.h, in.w, kernel, stride));
+  const SpatialDims out{out_dim(in.h, stride), out_dim(in.w, stride)};
+  g.add(elementwise(name + ".bn_relu", out_ch * out.h * out.w));
+  return out;
+}
+
+SpatialDims residual_block(ModelGraph& g, const std::string& name,
+                           std::int64_t in_ch, std::int64_t out_ch,
+                           SpatialDims in, std::int64_t stride) {
+  SpatialDims mid = conv_bn_relu(g, name + ".conv1", in_ch, out_ch, in, 3,
+                                 stride);
+  SpatialDims out = conv_bn_relu(g, name + ".conv2", out_ch, out_ch, mid, 3, 1);
+  if (stride != 1 || in_ch != out_ch) {
+    g.add(conv2d(name + ".proj", in_ch, out_ch, in.h, in.w, 1, stride));
+  }
+  g.add(elementwise(name + ".add", out_ch * out.h * out.w));
+  return out;
+}
+
+SpatialDims bottleneck_block(ModelGraph& g, const std::string& name,
+                             std::int64_t in_ch, std::int64_t mid_ch,
+                             SpatialDims in, std::int64_t stride) {
+  const std::int64_t out_ch = mid_ch * 4;
+  SpatialDims d = conv_bn_relu(g, name + ".reduce", in_ch, mid_ch, in, 1, 1);
+  d = conv_bn_relu(g, name + ".conv3x3", mid_ch, mid_ch, d, 3, stride);
+  d = conv_bn_relu(g, name + ".expand", mid_ch, out_ch, d, 1, 1);
+  if (stride != 1 || in_ch != out_ch) {
+    g.add(conv2d(name + ".proj", in_ch, out_ch, in.h, in.w, 1, stride));
+  }
+  g.add(elementwise(name + ".add", out_ch * d.h * d.w));
+  return d;
+}
+
+SpatialDims inverted_residual(ModelGraph& g, const std::string& name,
+                              std::int64_t in_ch, std::int64_t out_ch,
+                              SpatialDims in, std::int64_t expand_ratio,
+                              std::int64_t kernel, std::int64_t stride) {
+  const std::int64_t mid_ch = in_ch * expand_ratio;
+  SpatialDims d = in;
+  if (expand_ratio != 1) {
+    d = conv_bn_relu(g, name + ".expand", in_ch, mid_ch, in, 1, 1);
+  }
+  g.add(dwconv2d(name + ".dw", mid_ch, d.h, d.w, kernel, stride));
+  d = SpatialDims{out_dim(d.h, stride), out_dim(d.w, stride)};
+  g.add(elementwise(name + ".dw_act", mid_ch * d.h * d.w));
+  g.add(conv2d(name + ".project", mid_ch, out_ch, d.h, d.w, 1, 1));
+  if (stride == 1 && in_ch == out_ch) {
+    g.add(elementwise(name + ".add", out_ch * d.h * d.w));
+  }
+  return d;
+}
+
+void transformer_block(ModelGraph& g, const std::string& name,
+                       std::int64_t tokens, std::int64_t dim,
+                       std::int64_t ffn_dim, std::int64_t num_heads,
+                       std::int64_t kv_tokens) {
+  if (kv_tokens <= 0) kv_tokens = tokens;
+  g.add(layer_norm(name + ".ln1", tokens, dim));
+  // Q from `tokens`, K/V from `kv_tokens` (streaming attention has a longer
+  // key/value context than query segment).
+  g.add(matmul(name + ".q_proj", tokens, dim, dim));
+  g.add(matmul(name + ".k_proj", kv_tokens, dim, dim));
+  g.add(matmul(name + ".v_proj", kv_tokens, dim, dim));
+  // Attention scores and weighted sum; head split keeps total MACs equal to
+  // the monolithic matmul, so model as tokens x dim x kv_tokens.
+  g.add(matmul(name + ".qk", tokens, dim, kv_tokens));
+  g.add(softmax(name + ".softmax", tokens * num_heads,
+                kv_tokens / std::max<std::int64_t>(1, num_heads) +
+                    1));  // per-head rows; cheap vector op
+  g.add(matmul(name + ".av", tokens, kv_tokens, dim));
+  g.add(matmul(name + ".out_proj", tokens, dim, dim));
+  g.add(elementwise(name + ".add1", tokens * dim));
+  g.add(layer_norm(name + ".ln2", tokens, dim));
+  g.add(matmul(name + ".ffn1", tokens, dim, ffn_dim));
+  g.add(elementwise(name + ".gelu", tokens * ffn_dim));
+  g.add(matmul(name + ".ffn2", tokens, ffn_dim, dim));
+  g.add(elementwise(name + ".add2", tokens * dim));
+}
+
+SpatialDims unet_up_block(ModelGraph& g, const std::string& name,
+                          std::int64_t in_ch, std::int64_t skip_ch,
+                          std::int64_t out_ch, SpatialDims in) {
+  const SpatialDims up{in.h * 2, in.w * 2};
+  g.add(upsample(name + ".up", in_ch, up.h, up.w));
+  SpatialDims d = conv_bn_relu(g, name + ".conv1", in_ch + skip_ch, out_ch, up,
+                               3, 1);
+  d = conv_bn_relu(g, name + ".conv2", out_ch, out_ch, d, 3, 1);
+  return d;
+}
+
+}  // namespace xrbench::models

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "costmodel/graph.h"
+
+namespace xrbench::models {
+
+/// Shared network-block builders used by the model zoo. Each helper appends
+/// the layers of one architectural block to `g` and returns the (possibly
+/// downsampled) output spatial size.
+struct SpatialDims {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+};
+
+/// Conv-BN-ReLU. Returns output dims (same-padding semantics).
+SpatialDims conv_bn_relu(costmodel::ModelGraph& g, const std::string& name,
+                         std::int64_t in_ch, std::int64_t out_ch,
+                         SpatialDims in, std::int64_t kernel,
+                         std::int64_t stride = 1);
+
+/// Basic ResNet block (two 3x3 convs + skip). `stride` applies to the first
+/// conv; a 1x1 projection is added when shape changes.
+SpatialDims residual_block(costmodel::ModelGraph& g, const std::string& name,
+                           std::int64_t in_ch, std::int64_t out_ch,
+                           SpatialDims in, std::int64_t stride = 1);
+
+/// ResNet bottleneck block (1x1 reduce, 3x3, 1x1 expand x4 + skip).
+SpatialDims bottleneck_block(costmodel::ModelGraph& g, const std::string& name,
+                             std::int64_t in_ch, std::int64_t mid_ch,
+                             SpatialDims in, std::int64_t stride = 1);
+
+/// MobileNet-style inverted residual: 1x1 expand, kxk depthwise (stride),
+/// 1x1 project, optional skip.
+SpatialDims inverted_residual(costmodel::ModelGraph& g, const std::string& name,
+                              std::int64_t in_ch, std::int64_t out_ch,
+                              SpatialDims in, std::int64_t expand_ratio,
+                              std::int64_t kernel = 3, std::int64_t stride = 1);
+
+/// Transformer encoder block over `tokens` tokens of width `dim`:
+/// LN, QKV projection, attention matmuls + softmax, output projection,
+/// LN, FFN (dim -> ffn_dim -> dim), residual adds.
+void transformer_block(costmodel::ModelGraph& g, const std::string& name,
+                       std::int64_t tokens, std::int64_t dim,
+                       std::int64_t ffn_dim, std::int64_t num_heads,
+                       std::int64_t kv_tokens = 0);
+
+/// U-Net style up block: upsample 2x then two 3x3 convs (after skip concat).
+SpatialDims unet_up_block(costmodel::ModelGraph& g, const std::string& name,
+                          std::int64_t in_ch, std::int64_t skip_ch,
+                          std::int64_t out_ch, SpatialDims in);
+
+}  // namespace xrbench::models

@@ -1,0 +1,79 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::elementwise;
+using costmodel::ModelGraph;
+using costmodel::upsample;
+
+/// DE — MiDaS v2.1 small (Ranftl et al., 2020): monocular relative depth
+/// estimation with an EfficientNet-Lite3 backbone and a lightweight RefineNet
+/// style decoder (the `midas_v21_small` release).
+///
+/// Input: KITTI frames letterboxed to the MiDaS-small 256x256 resolution.
+ModelGraph build_depth_estimation() {
+  ModelGraph g("DE.MiDaS-v21-small");
+  SpatialDims d{256, 256};
+
+  // EfficientNet-Lite3 backbone.
+  d = conv_bn_relu(g, "stem", 3, 32, d, 3, 2);  // 128x128
+
+  struct Stage {
+    std::int64_t out_ch;
+    std::int64_t expand;
+    std::int64_t kernel;
+    std::int64_t stride;
+    int repeat;
+  };
+  const Stage stages[] = {
+      {24, 1, 3, 1, 2},  {32, 6, 3, 2, 3},  {48, 6, 5, 2, 3},
+      {96, 6, 3, 2, 5},  {136, 6, 5, 1, 5}, {232, 6, 5, 2, 6},
+  };
+  std::int64_t in_ch = 32;
+  int block_id = 0;
+  // Record skip resolutions feeding the decoder.
+  SpatialDims skips[4] = {};
+  std::int64_t skip_ch[4] = {};
+  int skip_idx = 0;
+  for (const auto& st : stages) {
+    for (int r = 0; r < st.repeat; ++r) {
+      const std::int64_t stride = (r == 0) ? st.stride : 1;
+      d = inverted_residual(g, "ir" + std::to_string(block_id++), in_ch,
+                            st.out_ch, d, st.expand, st.kernel, stride);
+      in_ch = st.out_ch;
+    }
+    if (st.out_ch == 32 || st.out_ch == 48 || st.out_ch == 136 ||
+        st.out_ch == 232) {
+      if (skip_idx < 4) {
+        skips[skip_idx] = d;
+        skip_ch[skip_idx] = st.out_ch;
+        ++skip_idx;
+      }
+    }
+  }
+
+  // RefineNet-small decoder: fuse skips from deep to shallow at 64 ch.
+  constexpr std::int64_t kDec = 64;
+  SpatialDims cur = skips[3];
+  g.add(conv2d("dec.reduce3", skip_ch[3], kDec, cur.h, cur.w, 3, 1));
+  for (int s = 2; s >= 0; --s) {
+    const std::string p = "dec.fuse" + std::to_string(s);
+    g.add(upsample(p + ".up", kDec, skips[s].h, skips[s].w));
+    g.add(conv2d(p + ".skip", skip_ch[s], kDec, skips[s].h, skips[s].w, 3, 1));
+    g.add(elementwise(p + ".add", kDec * skips[s].h * skips[s].w));
+    (void)conv_bn_relu(g, p + ".conv", kDec, kDec, skips[s], 3, 1);
+    cur = skips[s];
+  }
+
+  // Output head: upsample to half input, 2 convs, final full-res depth map.
+  g.add(upsample("head.up", kDec, 128, 128));
+  (void)conv_bn_relu(g, "head.conv1", kDec, 32, SpatialDims{128, 128}, 3, 1);
+  g.add(conv2d("head.depth", 32, 1, 128, 128, 3, 1));
+  g.add(upsample("head.final_up", 1, 256, 256));
+  return g;
+}
+
+}  // namespace xrbench::models

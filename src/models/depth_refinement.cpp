@@ -1,0 +1,60 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::deconv2d;
+using costmodel::elementwise;
+using costmodel::ModelGraph;
+using costmodel::pool;
+
+/// DR — Sparse-to-Dense (Ma & Karaman, ICRA 2018), RGBd-200 variant:
+/// dense depth prediction from an RGB frame plus ~200 sparse lidar depth
+/// samples. ResNet-18-style encoder over the 4-channel RGBd input and a
+/// de-convolutional decoder (the multi-modal model of Table 3: camera +
+/// lidar inputs).
+///
+/// Input: KITTI center crop at the paper's 228x304 network resolution.
+ModelGraph build_depth_refinement() {
+  ModelGraph g("DR.Sparse-to-Dense-RGBd200");
+  SpatialDims d{228, 304};
+
+  // ResNet-18 encoder on RGB + sparse-depth channel.
+  d = conv_bn_relu(g, "stem", 4, 64, d, 7, 2);  // 114x152
+  g.add(pool("stem.pool", 64, d.h / 2, d.w / 2, 2));
+  d = {d.h / 2, d.w / 2};  // 57x76
+
+  const std::int64_t chans[4] = {64, 128, 256, 512};
+  std::int64_t in_ch = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < 2; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      d = residual_block(g,
+                         "res" + std::to_string(stage) + "_" +
+                             std::to_string(b),
+                         in_ch, chans[stage], d, stride);
+      in_ch = chans[stage];
+    }
+  }
+  // Bottleneck 1x1.
+  (void)conv_bn_relu(g, "enc.bottleneck", 512, 512, d, 1, 1);
+
+  // Decoder: 4 deconv (up-projection) stages 512->256->128->64->32.
+  std::int64_t dec_ch = 512;
+  for (int s = 0; s < 4; ++s) {
+    const std::int64_t out_ch = dec_ch / 2;
+    g.add(deconv2d("dec" + std::to_string(s), dec_ch, out_ch, d.h, d.w, 3, 2));
+    d = {d.h * 2, d.w * 2};
+    g.add(elementwise("dec" + std::to_string(s) + ".act", out_ch * d.h * d.w));
+    dec_ch = out_ch;
+  }
+
+  // Final depth regression + bilinear resize to input resolution.
+  g.add(conv2d("head.depth", dec_ch, 1, d.h, d.w, 3, 1));
+  g.add(costmodel::upsample("head.resize", 1, 228, 304));
+  return g;
+}
+
+}  // namespace xrbench::models

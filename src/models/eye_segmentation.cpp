@@ -1,0 +1,75 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::elementwise;
+using costmodel::ModelGraph;
+using costmodel::pool;
+
+/// ES — RITNet (Chaudhary et al., ICCVW 2019): a compact U-Net-style eye
+/// segmentation network (~0.25M params) with dense blocks of 32-channel
+/// 3x3 convolutions, 4 down-blocks + bottleneck + 4 up-blocks.
+///
+/// Input: OpenEDS 2019 downscaled by 1/4 in area (appendix A): 640x400 ->
+/// 320x200 grayscale, one stream per eye (XR devices run binocular eye
+/// tracking; one ES inference segments both eye crops).
+ModelGraph build_eye_segmentation() {
+  ModelGraph g("ES.RITNet");
+  constexpr std::int64_t kCh = 32;
+  for (const char* eye : {"left", "right"}) {
+  const std::string pfx = std::string(eye) + ".";
+  SpatialDims d{200, 320};
+
+  // Down path: dense block (4 chained 3x3 convs at 32 ch) then 2x avgpool.
+  auto dense_block = [&g](const std::string& name, std::int64_t in_ch,
+                          SpatialDims dims) {
+    SpatialDims cur = dims;
+    std::int64_t ch = in_ch;
+    for (int i = 0; i < 4; ++i) {
+      cur = conv_bn_relu(g, name + ".conv" + std::to_string(i), ch, kCh, cur,
+                         3, 1);
+      ch = kCh;
+    }
+    return cur;
+  };
+
+  d = dense_block(pfx + "down0", 1, d);
+  SpatialDims s0 = d;
+  g.add(pool(pfx + "down0.pool", kCh, s0.h / 2, s0.w / 2, 2));
+  d = {s0.h / 2, s0.w / 2};
+
+  d = dense_block(pfx + "down1", kCh, d);
+  SpatialDims s1 = d;
+  g.add(pool(pfx + "down1.pool", kCh, s1.h / 2, s1.w / 2, 2));
+  d = {s1.h / 2, s1.w / 2};
+
+  d = dense_block(pfx + "down2", kCh, d);
+  SpatialDims s2 = d;
+  g.add(pool(pfx + "down2.pool", kCh, s2.h / 2, s2.w / 2, 2));
+  d = {s2.h / 2, s2.w / 2};
+
+  d = dense_block(pfx + "down3", kCh, d);
+  SpatialDims s3 = d;
+  g.add(pool(pfx + "down3.pool", kCh, s3.h / 2, s3.w / 2, 2));
+  d = {s3.h / 2, s3.w / 2};
+
+  // Bottleneck.
+  d = dense_block(pfx + "bottleneck", kCh, d);
+
+  // Up path with skip concatenation (in_ch = 32 up + 32 skip).
+  d = unet_up_block(g, pfx + "up3", kCh, kCh, kCh, d);
+  d = unet_up_block(g, pfx + "up2", kCh, kCh, kCh, d);
+  d = unet_up_block(g, pfx + "up1", kCh, kCh, kCh, d);
+  d = unet_up_block(g, pfx + "up0", kCh, kCh, kCh, d);
+
+  // Per-pixel 4-class head (background, sclera, iris, pupil).
+  g.add(conv2d(pfx + "head.classes", kCh, 4, d.h, d.w, 1, 1));
+  g.add(elementwise(pfx + "head.softmax", 4 * d.h * d.w));
+  }
+  return g;
+}
+
+}  // namespace xrbench::models

@@ -1,0 +1,70 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::elementwise;
+using costmodel::fully_connected;
+using costmodel::ModelGraph;
+using costmodel::pool;
+
+/// GE — Gaze estimation: the Eyecod pipeline's backbone instance is
+/// FBNet-C (Table 7), an inverted-residual NAS network.
+///
+/// Input: OpenEDS 2020 downscaled by 1/4 in area (appendix A) -> 320x200
+/// eye crops, one stream per eye (binocular gaze estimation; the fused
+/// per-eye features regress a single 3D gaze vector).
+/// The FBNet-C stage layout follows the published architecture (22 blocks,
+/// expansion 1-6, channels 16->352) with the classifier replaced by a
+/// 3D-gaze-vector regression head.
+ModelGraph build_gaze_estimation() {
+  ModelGraph g("GE.FBNetC");
+  for (const char* eye : {"l", "r"}) {
+  const std::string pfx = std::string(eye) + ".";
+  SpatialDims d{200, 320};
+
+  d = conv_bn_relu(g, pfx + "stem", 1, 16, d, 3, 2);  // 100x160
+
+  struct Stage {
+    std::int64_t out_ch;
+    std::int64_t expand;
+    std::int64_t kernel;
+    std::int64_t stride;
+    int repeat;
+  };
+  // FBNet-C stage table (TBS blocks), adapted channel schedule.
+  const Stage stages[] = {
+      {16, 1, 3, 1, 1},   // stage 1
+      {24, 6, 3, 2, 4},   // stage 2
+      {32, 6, 5, 2, 4},   // stage 3
+      {64, 6, 5, 2, 4},   // stage 4
+      {112, 6, 5, 1, 4},  // stage 5
+      {184, 6, 5, 2, 4},  // stage 6
+      {352, 6, 3, 1, 1},  // stage 7
+  };
+
+  std::int64_t in_ch = 16;
+  int block_id = 0;
+  for (const auto& st : stages) {
+    for (int r = 0; r < st.repeat; ++r) {
+      const std::int64_t stride = (r == 0) ? st.stride : 1;
+      d = inverted_residual(g, pfx + "ir" + std::to_string(block_id++),
+                            in_ch, st.out_ch, d, st.expand, st.kernel,
+                            stride);
+      in_ch = st.out_ch;
+    }
+  }
+
+  // Final 1x1 conv to 1504 (FBNet-C head width) + GAP, per eye.
+  d = conv_bn_relu(g, pfx + "head.conv", in_ch, 1504, d, 1, 1);
+  g.add(pool(pfx + "head.gap", 1504, 1, 1, static_cast<std::int64_t>(d.h)));
+  }
+  // Fused binocular regression head over both eyes' embeddings.
+  g.add(fully_connected("head.fc", 2 * 1504, 256));
+  g.add(elementwise("head.act", 256));
+  g.add(fully_connected("head.gaze", 256, 3));  // 3D gaze vector
+  return g;
+}
+
+}  // namespace xrbench::models

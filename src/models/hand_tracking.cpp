@@ -1,0 +1,77 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::elementwise;
+using costmodel::fully_connected;
+using costmodel::matmul;
+using costmodel::ModelGraph;
+using costmodel::pool;
+using costmodel::upsample;
+
+/// HT — Hand Shape/Pose estimation (Ge et al., CVPR 2019): a 3D hand
+/// shape/pose network combining a stacked-hourglass 2D feature extractor,
+/// a residual feature encoder, and a Graph CNN mesh decoder.
+///
+/// Input: Stereo Hand Pose Tracking Benchmark frames downscaled by 1/2
+/// (appendix A): 640x480 -> 320x240, from which a 256x256 hand crop feeds
+/// the network.
+ModelGraph build_hand_tracking() {
+  ModelGraph g("HT.HandShapePose");
+  SpatialDims d{256, 256};
+  const std::string vp;  // single-view front end (mono hand crop)
+
+  // Stem: 7x7/2 conv + residual + pool, hourglass-style front end.
+  d = conv_bn_relu(g, vp + "stem", 3, 64, d, 7, 2);       // 128x128
+  d = residual_block(g, vp + "stem.res", 64, 128, d, 1);
+  g.add(pool(vp + "stem.pool", 128, d.h / 2, d.w / 2, 2));
+  d = {d.h / 2, d.w / 2};                                  // 64x64
+
+  // Two stacked hourglass modules (encoder-decoder with skips).
+  for (int hg = 0; hg < 2; ++hg) {
+    const std::string p = vp + "hg" + std::to_string(hg);
+    SpatialDims e = d;
+    // Encoder: 3 downsampling residual stages 32->16->8->4.
+    e = residual_block(g, p + ".down0", 128, 128, e, 2);
+    e = residual_block(g, p + ".down1", 128, 256, e, 2);
+    e = residual_block(g, p + ".down2", 256, 256, e, 2);
+    // Bottleneck.
+    e = residual_block(g, p + ".mid", 256, 256, e, 1);
+    // Decoder: 3 upsampling stages back to 32x32.
+    e = unet_up_block(g, p + ".up0", 256, 256, 256, e);
+    e = unet_up_block(g, p + ".up1", 256, 256, 128, e);
+    e = unet_up_block(g, p + ".up2", 128, 128, 128, e);
+    // Intermediate heatmap head (21 joints).
+    g.add(conv2d(p + ".heatmap", 128, 21, e.h, e.w, 1, 1));
+    g.add(elementwise(p + ".remap", 128 * e.h * e.w));
+  }
+
+  // Residual encoder over heatmaps + features -> latent for the Graph CNN.
+  SpatialDims e = d;
+  e = residual_block(g, "enc.res0", 128 + 21, 256, e, 2);  // 16x16
+  e = residual_block(g, "enc.res1", 256, 512, e, 2);       // 8x8
+  g.add(pool("enc.gap", 512, 1, 1, 8));
+  g.add(fully_connected("enc.latent", 512, 1024));
+
+  // Graph CNN mesh decoder: 3 graph-conv stages on an upsampled mesh
+  // (80 -> 320 -> 1280 vertices), each graph conv = dense feature matmul
+  // (Chebyshev support folded into the feature dimension).
+  const std::int64_t feat[4] = {128, 128, 64, 32};
+  const std::int64_t verts[4] = {80, 320, 1280, 1280};
+  g.add(fully_connected("gcn.init", 1024, 80 * feat[0]));
+  for (int s = 0; s < 3; ++s) {
+    const std::string p = "gcn" + std::to_string(s);
+    g.add(matmul(p + ".conv1", verts[s + 1], feat[s], feat[s + 1]));
+    g.add(matmul(p + ".conv2", verts[s + 1], feat[s + 1], feat[s + 1]));
+    g.add(elementwise(p + ".act", verts[s + 1] * feat[s + 1]));
+  }
+  // 3D vertex coordinate head + pose regressor (21 joints x 3).
+  g.add(matmul("head.verts", 1280, 32, 3));
+  g.add(fully_connected("head.pose", 1024, 63));
+  return g;
+}
+
+}  // namespace xrbench::models

@@ -1,0 +1,38 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::elementwise;
+using costmodel::fully_connected;
+using costmodel::ModelGraph;
+using costmodel::pool;
+
+/// KD — res8-narrow (Tang & Lin, ICASSP 2018): a tiny residual CNN for
+/// small-footprint keyword spotting on Google Speech Commands (~20k params).
+///
+/// Input: 1s audio -> 101x40 MFCC map, 1 channel. res8-narrow: 19-channel
+/// 3x3 convs, 3 residual blocks, 4x3 average pooling front end.
+ModelGraph build_keyword_detection() {
+  ModelGraph g("KD.res8-narrow");
+  constexpr std::int64_t kCh = 19;
+  SpatialDims d{101, 40};
+
+  d = conv_bn_relu(g, "stem", 1, kCh, d, 3, 1);
+  // res8 applies a 4x3 average pool after the stem.
+  g.add(pool("stem.avgpool", kCh, d.h / 4, d.w / 3, 2));
+  d = {d.h / 4, d.w / 3};  // ~25x13
+
+  for (int b = 0; b < 3; ++b) {
+    d = residual_block(g, "res" + std::to_string(b), kCh, kCh, d, 1);
+  }
+
+  g.add(pool("head.gap", kCh, 1, 1, static_cast<std::int64_t>(d.h)));
+  g.add(fully_connected("head.fc", kCh, 12));  // 12 keyword classes
+  g.add(elementwise("head.softmax", 12));
+  return g;
+}
+
+}  // namespace xrbench::models

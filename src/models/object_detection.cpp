@@ -1,0 +1,70 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::elementwise;
+using costmodel::fully_connected;
+using costmodel::ModelGraph;
+using costmodel::roi_align;
+
+/// OD — D2Go Faster-RCNN-FBNetV3A (Meta, 2022): an on-device two-stage
+/// detector with an FBNetV3-A inverted-residual backbone, a C4-style RPN,
+/// and a lightweight RoI head.
+///
+/// Input: COCO frames at the D2Go mobile resolution 320x320.
+ModelGraph build_object_detection() {
+  ModelGraph g("OD.FasterRCNN-FBNetV3A");
+  SpatialDims d{320, 320};
+
+  // FBNetV3-A backbone (stages through 1/16; C4 head consumes stage 4).
+  d = conv_bn_relu(g, "stem", 3, 16, d, 3, 2);  // 160x160
+
+  struct Stage {
+    std::int64_t out_ch;
+    std::int64_t expand;
+    std::int64_t kernel;
+    std::int64_t stride;
+    int repeat;
+  };
+  const Stage stages[] = {
+      {16, 1, 3, 1, 2},  {24, 4, 3, 2, 4},  {40, 4, 5, 2, 4},
+      {72, 5, 3, 2, 4},  {120, 5, 5, 1, 6}, {184, 6, 3, 2, 6},
+  };
+  std::int64_t in_ch = 16;
+  int block_id = 0;
+  SpatialDims c4 = d;
+  for (const auto& st : stages) {
+    for (int r = 0; r < st.repeat; ++r) {
+      const std::int64_t stride = (r == 0) ? st.stride : 1;
+      d = inverted_residual(g, "ir" + std::to_string(block_id++), in_ch,
+                            st.out_ch, d, st.expand, st.kernel, stride);
+      in_ch = st.out_ch;
+      if (st.out_ch == 120) c4 = d;  // 1/16 feature map feeding the RPN
+    }
+  }
+
+  // RPN on the 1/16 feature map: 3x3 conv + objectness/box heads,
+  // 15 anchors per location.
+  (void)conv_bn_relu(g, "rpn.conv", 120, 256, c4, 3, 1);
+  g.add(conv2d("rpn.objectness", 256, 15, c4.h, c4.w, 1, 1));
+  g.add(conv2d("rpn.boxes", 256, 60, c4.h, c4.w, 1, 1));
+  g.add(elementwise("rpn.nms", 15 * c4.h * c4.w));
+
+  // RoI head: 100 proposals, RoIAlign to 7x7, shared conv + per-class heads.
+  constexpr std::int64_t kRois = 100;
+  g.add(roi_align("roi.align", kRois, 120, 7));
+  // Per-RoI conv stack folded into a matmul over RoI batch:
+  // (100 x (120*7*7)) * ((120*7*7) -> 1024).
+  g.add(costmodel::matmul("roi.fc1", kRois, 120 * 7 * 7, 1024));
+  g.add(elementwise("roi.act1", kRois * 1024));
+  g.add(costmodel::matmul("roi.fc2", kRois, 1024, 1024));
+  g.add(elementwise("roi.act2", kRois * 1024));
+  g.add(costmodel::matmul("roi.cls", kRois, 1024, 81));   // 80 classes + bg
+  g.add(costmodel::matmul("roi.bbox", kRois, 1024, 320)); // 80 x 4 deltas
+  return g;
+}
+
+}  // namespace xrbench::models

@@ -1,0 +1,120 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::elementwise;
+using costmodel::matmul;
+using costmodel::ModelGraph;
+using costmodel::pool;
+using costmodel::roi_align;
+using costmodel::upsample;
+
+/// PD — PlaneRCNN (Liu et al., CVPR 2019): 3D plane detection and
+/// reconstruction from a single image. Mask-R-CNN-style architecture:
+/// ResNet-101 backbone + FPN, RPN, per-RoI box/class/plane-parameter heads,
+/// a mask head, and a depth-map decoder branch used by the plane refinement
+/// stage.
+///
+/// Input: KITTI downscaled by 1/4 (appendix A): 1242x375 -> 312x96.
+/// This is deliberately the heavyweight model of the suite (the paper's
+/// Figure 6 shows 4K-PE systems failing to sustain PD at 30 FPS).
+ModelGraph build_plane_detection() {
+  ModelGraph g("PD.PlaneRCNN");
+  SpatialDims d{96, 312};
+
+  // ResNet-101 backbone.
+  d = conv_bn_relu(g, "stem", 3, 64, d, 7, 2);  // 48x156
+  g.add(pool("stem.pool", 64, d.h / 2, d.w / 2, 2));
+  d = {d.h / 2, d.w / 2};  // 24x78
+
+  struct Stage {
+    std::int64_t mid_ch;
+    int blocks;
+    std::int64_t stride;
+  };
+  const Stage stages[] = {
+      {64, 3, 1},    // C2: 24x78, 256 out
+      {128, 4, 2},   // C3: 12x39, 512 out
+      {256, 23, 2},  // C4: 6x20, 1024 out  (ResNet-101's deep stage)
+      {512, 3, 2},   // C5: 3x10, 2048 out
+  };
+  std::int64_t in_ch = 64;
+  SpatialDims c_dims[4];
+  std::int64_t c_ch[4];
+  int ci = 0;
+  for (const auto& st : stages) {
+    for (int b = 0; b < st.blocks; ++b) {
+      const std::int64_t stride = (b == 0) ? st.stride : 1;
+      d = bottleneck_block(
+          g, "c" + std::to_string(ci + 2) + "_" + std::to_string(b), in_ch,
+          st.mid_ch, d, stride);
+      in_ch = st.mid_ch * 4;
+    }
+    c_dims[ci] = d;
+    c_ch[ci] = in_ch;
+    ++ci;
+  }
+
+  // FPN: lateral 1x1 + top-down upsample + 3x3 smoothing, P2..P5 at 256 ch.
+  for (int lvl = 3; lvl >= 0; --lvl) {
+    const std::string p = "fpn.p" + std::to_string(lvl + 2);
+    g.add(conv2d(p + ".lateral", c_ch[lvl], 256, c_dims[lvl].h, c_dims[lvl].w,
+                 1, 1));
+    if (lvl < 3) {
+      g.add(upsample(p + ".topdown", 256, c_dims[lvl].h, c_dims[lvl].w));
+      g.add(elementwise(p + ".add", 256 * c_dims[lvl].h * c_dims[lvl].w));
+    }
+    g.add(conv2d(p + ".smooth", 256, 256, c_dims[lvl].h, c_dims[lvl].w, 3, 1));
+  }
+
+  // RPN over every pyramid level: shared 3x3 + objectness/box heads.
+  for (int lvl = 0; lvl < 4; ++lvl) {
+    const std::string p = "rpn.p" + std::to_string(lvl + 2);
+    (void)conv_bn_relu(g, p + ".conv", 256, 256, c_dims[lvl], 3, 1);
+    g.add(conv2d(p + ".objectness", 256, 3, c_dims[lvl].h, c_dims[lvl].w, 1,
+                 1));
+    g.add(conv2d(p + ".boxes", 256, 12, c_dims[lvl].h, c_dims[lvl].w, 1, 1));
+  }
+
+  // RoI heads: 200 proposals -> box/class/plane-normal heads.
+  constexpr std::int64_t kRois = 200;
+  g.add(roi_align("roi.align", kRois, 256, 7));
+  g.add(matmul("roi.fc1", kRois, 256 * 7 * 7, 1024));
+  g.add(elementwise("roi.act1", kRois * 1024));
+  g.add(matmul("roi.fc2", kRois, 1024, 1024));
+  g.add(elementwise("roi.act2", kRois * 1024));
+  g.add(matmul("roi.cls", kRois, 1024, 2));        // plane / non-plane
+  g.add(matmul("roi.bbox", kRois, 1024, 8));
+  g.add(matmul("roi.normal", kRois, 1024, 3));     // plane normal anchor
+
+  // Mask head: 100 detections, 14x14 RoIAlign, 4 convs + deconv + mask.
+  constexpr std::int64_t kDet = 100;
+  g.add(roi_align("mask.align", kDet, 256, 14));
+  for (int i = 0; i < 4; ++i) {
+    // Per-RoI 14x14x256 conv stack, batched across detections: lower as a
+    // conv with batch folded into rows (y = kDet * 14).
+    g.add(conv2d("mask.conv" + std::to_string(i), 256, 256, kDet * 14, 14, 3,
+                 1));
+  }
+  g.add(conv2d("mask.deconv", 256, 256, kDet * 28, 28, 2, 1));
+  g.add(conv2d("mask.predict", 256, 2, kDet * 28, 28, 1, 1));
+
+  // Depth decoder branch (plane refinement network input): U-Net-ish decoder
+  // from C5 back to 1/4 resolution.
+  SpatialDims dd = c_dims[3];
+  std::int64_t dch = 256;
+  for (int s = 0; s < 3; ++s) {
+    g.add(upsample("depth.up" + std::to_string(s), dch, dd.h * 2, dd.w * 2));
+    dd = {dd.h * 2, dd.w * 2};
+    dd = conv_bn_relu(g, "depth.conv" + std::to_string(s), dch, dch / 2, dd, 3,
+                      1);
+    dch /= 2;
+  }
+  g.add(conv2d("depth.predict", dch, 1, dd.h, dd.w, 3, 1));
+  return g;
+}
+
+}  // namespace xrbench::models

@@ -1,0 +1,111 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::conv2d;
+using costmodel::dwconv2d;
+using costmodel::elementwise;
+using costmodel::layer_norm;
+using costmodel::matmul;
+using costmodel::ModelGraph;
+using costmodel::softmax;
+using costmodel::upsample;
+
+namespace {
+
+/// HRViT attention block: windowed (cross-shaped) self-attention + MixCFN
+/// (FFN with a depthwise 3x3 between the two projections).
+void hrvit_block(ModelGraph& g, const std::string& name, std::int64_t h,
+                 std::int64_t w, std::int64_t dim, std::int64_t window) {
+  const std::int64_t tokens = h * w;
+  g.add(layer_norm(name + ".ln1", tokens, dim));
+  g.add(matmul(name + ".qkv", tokens, dim, 3 * dim));
+  // Windowed attention: each token attends within a `window`-sized stripe.
+  g.add(matmul(name + ".qk", tokens, dim, window));
+  g.add(softmax(name + ".softmax", tokens, window));
+  g.add(matmul(name + ".av", tokens, window, dim));
+  g.add(matmul(name + ".proj", tokens, dim, dim));
+  g.add(elementwise(name + ".add1", tokens * dim));
+  // MixCFN: expand 4x with a depthwise conv in between.
+  g.add(layer_norm(name + ".ln2", tokens, dim));
+  g.add(matmul(name + ".ffn1", tokens, dim, 4 * dim));
+  g.add(dwconv2d(name + ".ffn_dw", 4 * dim, h, w, 3, 1));
+  g.add(matmul(name + ".ffn2", tokens, 4 * dim, dim));
+  g.add(elementwise(name + ".add2", tokens * dim));
+}
+
+}  // namespace
+
+/// SS — HRViT-b1 (Gu et al., CVPR 2022): multi-scale high-resolution vision
+/// transformer for semantic segmentation. HRViT keeps a convolutional
+/// high-resolution branch while lower-resolution branches run efficient
+/// cross-shaped-window attention blocks; branches exchange features through
+/// fusion convolutions.
+///
+/// Input: Cityscapes at wearable-adjusted 512x1024 (the paper keeps SS on
+/// Cityscapes; we halve the crop to stay in a mobile compute envelope,
+/// consistent with appendix A's downscaling of the other vision tasks).
+ModelGraph build_semantic_segmentation() {
+  ModelGraph g("SS.HRViT-b1");
+  SpatialDims d{512, 1024};
+
+  // Convolutional patch stem: two stride-2 convs -> 1/4 resolution.
+  d = conv_bn_relu(g, "stem.conv1", 3, 32, d, 3, 2);
+  d = conv_bn_relu(g, "stem.conv2", 32, 64, d, 3, 2);  // 128x256
+
+  // Branch resolutions and channel widths (HRViT-b1 schedule).
+  const std::int64_t h4 = 128, w4 = 256;   // 1/4,  32 ch (conv branch)
+  const std::int64_t h8 = 64, w8 = 128;    // 1/8,  64 ch
+  const std::int64_t h16 = 32, w16 = 64;   // 1/16, 128 ch
+  const std::int64_t h32 = 16, w32 = 32;   // 1/32, 256 ch
+
+  // Stage 1: high-res conv branch only.
+  for (int i = 0; i < 2; ++i) {
+    (void)residual_block(g, "s1.hr" + std::to_string(i), 64, 64,
+                         SpatialDims{h4, w4}, 1);
+  }
+
+  // Stage 2: add the 1/8 attention branch.
+  g.add(conv2d("s2.trans8", 64, 64, h4, w4, 3, 2));
+  for (int i = 0; i < 2; ++i) {
+    (void)residual_block(g, "s2.hr" + std::to_string(i), 64, 32,
+                         SpatialDims{h4, w4}, 1);
+    hrvit_block(g, "s2.attn8." + std::to_string(i), h8, w8, 64, 128);
+  }
+  g.add(conv2d("s2.fuse", 64 + 32, 64, h8, w8, 1, 1));
+
+  // Stage 3: add the 1/16 branch.
+  g.add(conv2d("s3.trans16", 64, 128, h8, w8, 3, 2));
+  for (int i = 0; i < 3; ++i) {
+    (void)residual_block(g, "s3.hr" + std::to_string(i), 32, 32,
+                         SpatialDims{h4, w4}, 1);
+    hrvit_block(g, "s3.attn8." + std::to_string(i), h8, w8, 64, 128);
+    hrvit_block(g, "s3.attn16." + std::to_string(i), h16, w16, 128, 128);
+  }
+  g.add(conv2d("s3.fuse", 128 + 64, 128, h16, w16, 1, 1));
+
+  // Stage 4: add the 1/32 branch.
+  g.add(conv2d("s4.trans32", 128, 256, h16, w16, 3, 2));
+  for (int i = 0; i < 2; ++i) {
+    (void)residual_block(g, "s4.hr" + std::to_string(i), 32, 32,
+                         SpatialDims{h4, w4}, 1);
+    hrvit_block(g, "s4.attn8." + std::to_string(i), h8, w8, 64, 128);
+    hrvit_block(g, "s4.attn16." + std::to_string(i), h16, w16, 128, 128);
+    hrvit_block(g, "s4.attn32." + std::to_string(i), h32, w32, 256, 64);
+  }
+
+  // Segmentation head (SegFormer-style): project all branches to 128 ch at
+  // 1/4 resolution, concat, fuse, classify 19 Cityscapes classes.
+  g.add(upsample("head.up8", 64, h4, w4));
+  g.add(upsample("head.up16", 128, h4, w4));
+  g.add(upsample("head.up32", 256, h4, w4));
+  g.add(conv2d("head.fuse", 32 + 64 + 128 + 256, 128, h4, w4, 1, 1));
+  g.add(elementwise("head.act", 128 * h4 * w4));
+  g.add(conv2d("head.classes", 128, 19, h4, w4, 1, 1));
+  g.add(upsample("head.final_up", 19, 512, 1024));
+  return g;
+}
+
+}  // namespace xrbench::models

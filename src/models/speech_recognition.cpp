@@ -1,0 +1,50 @@
+#include "costmodel/layer.h"
+#include "models/blocks.h"
+#include "models/zoo.h"
+
+namespace xrbench::models {
+
+using costmodel::elementwise;
+using costmodel::fully_connected;
+using costmodel::matmul;
+using costmodel::ModelGraph;
+
+/// SR — Emformer EM-24L (Shi et al., ICASSP 2021): an efficient-memory
+/// streaming transformer acoustic model for low-latency ASR.
+///
+/// One inference processes one streaming segment. The paper's 3 Hz target
+/// rate models the 320 ms left-context chunking of the original work
+/// (Section 3.3), so a segment covers ~333 ms of audio: 32 acoustic frames
+/// (10 ms hop) stacked 4x -> 8 segment tokens + right-context lookahead,
+/// attending over segment + memory bank + left-context keys.
+///
+/// EM-24L: 24 layers, d_model 512, FFN 2048, 8 heads (~80M params).
+ModelGraph build_speech_recognition() {
+  ModelGraph g("SR.Emformer-EM24L");
+  constexpr std::int64_t kLayers = 24;
+  constexpr std::int64_t kDim = 512;
+  constexpr std::int64_t kFfn = 2048;
+  constexpr std::int64_t kHeads = 8;
+  // Query tokens per segment: 8 segment + 2 right-context + 1 memory = 11.
+  constexpr std::int64_t kQueryTokens = 11;
+  // Keys/values: segment + right context + memory bank + cached left
+  // context (320 ms -> 8 tokens).
+  constexpr std::int64_t kKvTokens = 11 + 8;
+
+  // Front end: 80-dim log-mel frames, 4x time-stack + linear projection.
+  g.add(fully_connected("frontend.proj", 80 * 4, kDim));
+  g.add(elementwise("frontend.dropout", kQueryTokens * kDim));
+
+  for (std::int64_t l = 0; l < kLayers; ++l) {
+    transformer_block(g, "layer" + std::to_string(l), kQueryTokens, kDim,
+                      kFfn, kHeads, kKvTokens);
+  }
+
+  // Output: LayerNorm + projection to 4096 sentencepiece targets + softmax.
+  g.add(costmodel::layer_norm("head.ln", kQueryTokens, kDim));
+  g.add(matmul("head.vocab", kQueryTokens, kDim, 4096));
+  g.add(costmodel::softmax("head.softmax", kQueryTokens, 4096));
+  return g;
+}
+
+}  // namespace xrbench::models

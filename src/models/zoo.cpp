@@ -1,0 +1,40 @@
+#include "models/zoo.h"
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+
+namespace xrbench::models {
+
+costmodel::ModelGraph build_model(TaskId task) {
+  switch (task) {
+    case TaskId::kHT: return build_hand_tracking();
+    case TaskId::kES: return build_eye_segmentation();
+    case TaskId::kGE: return build_gaze_estimation();
+    case TaskId::kKD: return build_keyword_detection();
+    case TaskId::kSR: return build_speech_recognition();
+    case TaskId::kSS: return build_semantic_segmentation();
+    case TaskId::kOD: return build_object_detection();
+    case TaskId::kAS: return build_action_segmentation();
+    case TaskId::kDE: return build_depth_estimation();
+    case TaskId::kDR: return build_depth_refinement();
+    case TaskId::kPD: return build_plane_detection();
+  }
+  throw std::invalid_argument("build_model: unknown task");
+}
+
+const costmodel::ModelGraph& model_graph(TaskId task) {
+  // Lazily built, cached per task. Thread-safe via magic statics is not
+  // enough for an indexed array, so guard with function-local statics.
+  static const auto cache = [] {
+    std::array<std::unique_ptr<costmodel::ModelGraph>, kNumTasks> graphs;
+    for (TaskId t : all_tasks()) {
+      graphs[task_index(t)] =
+          std::make_unique<costmodel::ModelGraph>(build_model(t));
+    }
+    return graphs;
+  }();
+  return *cache[task_index(task)];
+}
+
+}  // namespace xrbench::models

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "costmodel/graph.h"
+#include "models/task.h"
+
+namespace xrbench::models {
+
+// Individual builders (one translation unit per model, see src/models/).
+// Each returns a freshly built layer graph of the Table-7 model instance at
+// the appendix-A input resolution (wearable-adjusted downscaling applied).
+
+costmodel::ModelGraph build_hand_tracking();       // HT
+costmodel::ModelGraph build_eye_segmentation();    // ES
+costmodel::ModelGraph build_gaze_estimation();     // GE
+costmodel::ModelGraph build_keyword_detection();   // KD
+costmodel::ModelGraph build_speech_recognition();  // SR
+costmodel::ModelGraph build_semantic_segmentation();  // SS
+costmodel::ModelGraph build_object_detection();    // OD
+costmodel::ModelGraph build_action_segmentation(); // AS
+costmodel::ModelGraph build_depth_estimation();    // DE
+costmodel::ModelGraph build_depth_refinement();    // DR
+costmodel::ModelGraph build_plane_detection();     // PD
+
+/// Builds a fresh graph for `task`.
+costmodel::ModelGraph build_model(TaskId task);
+
+/// Cached registry: returns a shared immutable graph for `task`. The graphs
+/// are static so callers can hold references for the process lifetime.
+const costmodel::ModelGraph& model_graph(TaskId task);
+
+}  // namespace xrbench::models

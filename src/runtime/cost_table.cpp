@@ -1,0 +1,42 @@
+#include "runtime/cost_table.h"
+
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace xrbench::runtime {
+
+CostTable::CostTable(const hw::AcceleratorSystem& system,
+                     const costmodel::AnalyticalCostModel& cost_model)
+    : num_sub_accels_(system.sub_accels.size()) {
+  if (num_sub_accels_ == 0) {
+    throw std::invalid_argument("CostTable: accelerator system is empty");
+  }
+  costs_.resize(models::kNumTasks * num_sub_accels_);
+  for (models::TaskId task : models::all_tasks()) {
+    const auto& graph = models::model_graph(task);
+    for (std::size_t sa = 0; sa < num_sub_accels_; ++sa) {
+      const auto mc = cost_model.model_cost(graph, system.sub_accels[sa]);
+      costs_[models::task_index(task) * num_sub_accels_ + sa] =
+          ExecutionCost{mc.latency_ms, mc.energy_mj, mc.avg_utilization};
+    }
+  }
+}
+
+const ExecutionCost& CostTable::cost(models::TaskId task,
+                                     std::size_t sub_accel) const {
+  if (sub_accel >= num_sub_accels_) {
+    throw std::out_of_range("CostTable::cost: sub_accel out of range");
+  }
+  return costs_[models::task_index(task) * num_sub_accels_ + sub_accel];
+}
+
+std::size_t CostTable::fastest_sub_accel(models::TaskId task) const {
+  std::size_t best = 0;
+  for (std::size_t sa = 1; sa < num_sub_accels_; ++sa) {
+    if (latency_ms(task, sa) < latency_ms(task, best)) best = sa;
+  }
+  return best;
+}
+
+}  // namespace xrbench::runtime

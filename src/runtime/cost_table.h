@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "hw/accelerator.h"
+#include "models/task.h"
+
+namespace xrbench::runtime {
+
+/// Latency/energy of one (model, sub-accelerator) pair.
+struct ExecutionCost {
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  double avg_utilization = 0.0;
+};
+
+/// Precomputed execution costs of every unit model on every sub-accelerator
+/// of one accelerator system. The dispatcher queries this table instead of
+/// re-running the analytical model per request (models are static per run,
+/// mirroring the paper's MAESTRO-precomputation flow).
+class CostTable {
+ public:
+  /// Evaluates all 11 unit models on each sub-accelerator of `system`.
+  CostTable(const hw::AcceleratorSystem& system,
+            const costmodel::AnalyticalCostModel& cost_model);
+
+  const ExecutionCost& cost(models::TaskId task, std::size_t sub_accel) const;
+
+  double latency_ms(models::TaskId task, std::size_t sub_accel) const {
+    return cost(task, sub_accel).latency_ms;
+  }
+  double energy_mj(models::TaskId task, std::size_t sub_accel) const {
+    return cost(task, sub_accel).energy_mj;
+  }
+
+  /// Index of the sub-accelerator with minimal latency for `task`.
+  std::size_t fastest_sub_accel(models::TaskId task) const;
+
+  std::size_t num_sub_accels() const { return num_sub_accels_; }
+
+ private:
+  std::size_t num_sub_accels_ = 0;
+  // Row-major [task][sub_accel].
+  std::vector<ExecutionCost> costs_;
+};
+
+}  // namespace xrbench::runtime

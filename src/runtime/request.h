@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "models/task.h"
+
+namespace xrbench::runtime {
+
+/// An inference request (Definition 6: IR = (mu, InFrameID)) with its
+/// Box-1 timing attributes.
+struct InferenceRequest {
+  models::TaskId task = models::TaskId::kHT;
+  std::int64_t frame = 0;      ///< Frame index at the model's target rate.
+  double treq_ms = 0.0;        ///< Request (input-ready) time, Definition 7.
+  double tdl_ms = 0.0;         ///< Deadline, Definition 8.
+  bool from_upstream = false;  ///< Created by an upstream model completion.
+
+  /// Inference slack (Definition 9): Tsl = Tdl - Treq.
+  double slack_ms() const { return tdl_ms - treq_ms; }
+};
+
+/// Outcome of one request after the run.
+struct InferenceRecord {
+  models::TaskId task = models::TaskId::kHT;
+  std::int64_t frame = 0;
+  double treq_ms = 0.0;
+  double tdl_ms = 0.0;
+  bool dropped = false;       ///< Never started before its deadline.
+  int sub_accel = -1;         ///< Executing sub-accelerator index.
+  double dispatch_ms = 0.0;   ///< Execution start time.
+  double complete_ms = 0.0;   ///< Execution end time.
+  double energy_mj = 0.0;
+
+  double slack_ms() const { return tdl_ms - treq_ms; }
+
+  /// End-to-end latency LInf: input-ready to completion (includes queueing).
+  double latency_ms() const { return complete_ms - treq_ms; }
+
+  /// Positive when the inference finished past its deadline.
+  double deadline_overrun_ms() const { return complete_ms - tdl_ms; }
+
+  bool missed_deadline() const { return !dropped && complete_ms > tdl_ms; }
+};
+
+/// One busy interval of a sub-accelerator (execution-timeline entry; the
+/// Figure-6 plots are rendered from these).
+struct BusyInterval {
+  int sub_accel = 0;
+  models::TaskId task = models::TaskId::kHT;
+  std::int64_t frame = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+}  // namespace xrbench::runtime

@@ -1,0 +1,126 @@
+#include "runtime/scheduler.h"
+
+#include <limits>
+
+namespace xrbench::runtime {
+namespace {
+
+bool context_ready(const SchedulerContext& ctx) {
+  return ctx.pending != nullptr && ctx.idle_sub_accels != nullptr &&
+         ctx.costs != nullptr && !ctx.pending->empty() &&
+         !ctx.idle_sub_accels->empty();
+}
+
+/// Idle sub-accelerator minimizing expected latency for `task`.
+std::size_t best_idle_for(const SchedulerContext& ctx, models::TaskId task) {
+  const auto& idle = *ctx.idle_sub_accels;
+  std::size_t best = idle.front();
+  for (std::size_t sa : idle) {
+    if (ctx.costs->latency_ms(task, sa) < ctx.costs->latency_ms(task, best)) {
+      best = sa;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<Assignment> LatencyGreedyScheduler::pick(
+    const SchedulerContext& ctx) {
+  if (!context_ready(ctx)) return std::nullopt;
+  const auto& pending = *ctx.pending;
+  double best_latency = std::numeric_limits<double>::infinity();
+  Assignment best{};
+  for (std::size_t ri = 0; ri < pending.size(); ++ri) {
+    for (std::size_t sa : *ctx.idle_sub_accels) {
+      const double lat = ctx.costs->latency_ms(pending[ri].task, sa);
+      if (lat < best_latency) {
+        best_latency = lat;
+        best = Assignment{ri, sa};
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<Assignment> RoundRobinScheduler::pick(
+    const SchedulerContext& ctx) {
+  if (!context_ready(ctx)) return std::nullopt;
+  const auto& pending = *ctx.pending;
+  // Visit tasks starting from next_task_ and find the first with a pending
+  // request; within a task pick the oldest frame.
+  for (std::size_t off = 0; off < models::kNumTasks; ++off) {
+    const std::size_t ti = (next_task_ + off) % models::kNumTasks;
+    const models::TaskId task = models::all_tasks()[ti];
+    std::optional<std::size_t> oldest;
+    for (std::size_t ri = 0; ri < pending.size(); ++ri) {
+      if (pending[ri].task != task) continue;
+      if (!oldest || pending[ri].frame < pending[*oldest].frame) oldest = ri;
+    }
+    if (oldest) {
+      next_task_ = (ti + 1) % models::kNumTasks;
+      return Assignment{*oldest, best_idle_for(ctx, task)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Assignment> EdfScheduler::pick(const SchedulerContext& ctx) {
+  if (!context_ready(ctx)) return std::nullopt;
+  const auto& pending = *ctx.pending;
+  std::size_t earliest = 0;
+  for (std::size_t ri = 1; ri < pending.size(); ++ri) {
+    if (pending[ri].tdl_ms < pending[earliest].tdl_ms) earliest = ri;
+  }
+  return Assignment{earliest, best_idle_for(ctx, pending[earliest].task)};
+}
+
+std::optional<Assignment> SlackAwareScheduler::pick(
+    const SchedulerContext& ctx) {
+  if (!context_ready(ctx)) return std::nullopt;
+  const auto& pending = *ctx.pending;
+  // Prefer the earliest-deadline request that can still meet its deadline
+  // on some idle accelerator; fall back to plain EDF when none can.
+  std::optional<std::size_t> best;
+  for (std::size_t ri = 0; ri < pending.size(); ++ri) {
+    const std::size_t sa = best_idle_for(ctx, pending[ri].task);
+    const double finish =
+        ctx.now_ms + ctx.costs->latency_ms(pending[ri].task, sa);
+    if (finish > pending[ri].tdl_ms) continue;  // already doomed
+    if (!best || pending[ri].tdl_ms < pending[*best].tdl_ms) best = ri;
+  }
+  if (!best) {
+    std::size_t earliest = 0;
+    for (std::size_t ri = 1; ri < pending.size(); ++ri) {
+      if (pending[ri].tdl_ms < pending[earliest].tdl_ms) earliest = ri;
+    }
+    best = earliest;
+  }
+  return Assignment{*best, best_idle_for(ctx, pending[*best].task)};
+}
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kLatencyGreedy: return "latency-greedy";
+    case SchedulerKind::kRoundRobin: return "round-robin";
+    case SchedulerKind::kEdf: return "edf";
+    case SchedulerKind::kSlackAware: return "slack-aware";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kLatencyGreedy:
+      return std::make_unique<LatencyGreedyScheduler>();
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kEdf:
+      return std::make_unique<EdfScheduler>();
+    case SchedulerKind::kSlackAware:
+      return std::make_unique<SlackAwareScheduler>();
+  }
+  return nullptr;
+}
+
+}  // namespace xrbench::runtime

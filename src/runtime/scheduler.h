@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/cost_table.h"
+#include "runtime/request.h"
+
+namespace xrbench::runtime {
+
+/// What the dispatcher exposes to a scheduling policy at a decision point.
+struct SchedulerContext {
+  double now_ms = 0.0;
+  /// Requests currently waiting (input ready, not yet started, deadline not
+  /// passed). Indices into this vector identify the choice.
+  const std::vector<InferenceRequest>* pending = nullptr;
+  /// Indices of currently idle sub-accelerators.
+  const std::vector<std::size_t>* idle_sub_accels = nullptr;
+  const CostTable* costs = nullptr;
+};
+
+/// A scheduling decision: run pending[request_index] on sub-accelerator
+/// idle_sub_accels[...] == sub_accel.
+struct Assignment {
+  std::size_t request_index = 0;
+  std::size_t sub_accel = 0;
+};
+
+/// Scheduling policy interface — the user-customizable component of the
+/// harness (yellow box in Figure 2). The dispatcher calls pick() repeatedly
+/// until it returns nullopt or runs out of idle hardware / pending work.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+
+  /// Chooses one (request, sub-accelerator) pair, or nullopt to leave the
+  /// remaining work queued. Must only return indices valid for `ctx`.
+  virtual std::optional<Assignment> pick(const SchedulerContext& ctx) = 0;
+
+  /// Called once before a run so stateful policies can reset.
+  virtual void reset() {}
+};
+
+/// Latency-greedy (the paper's default for cost-model/simulator runs):
+/// among all (pending request, idle accelerator) pairs, dispatch the pair
+/// with the minimal expected execution latency (appendix D.2).
+class LatencyGreedyScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "latency-greedy"; }
+  std::optional<Assignment> pick(const SchedulerContext& ctx) override;
+};
+
+/// Round-robin (the paper's default for real-system runs): cycles through
+/// models in task order, dispatching the oldest pending request of the next
+/// active task to the fastest idle sub-accelerator.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "round-robin"; }
+  std::optional<Assignment> pick(const SchedulerContext& ctx) override;
+  void reset() override { next_task_ = 0; }
+
+ private:
+  std::size_t next_task_ = 0;
+};
+
+/// Earliest-deadline-first (an extension policy for scheduler ablations):
+/// dispatch the pending request with the earliest deadline to the idle
+/// sub-accelerator that runs it fastest.
+class EdfScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "edf"; }
+  std::optional<Assignment> pick(const SchedulerContext& ctx) override;
+};
+
+/// Slack-aware policy (extension): like EDF but skips requests that cannot
+/// meet their deadline on any idle accelerator when another request still
+/// can (sacrifices already-doomed frames to protect feasible ones).
+class SlackAwareScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "slack-aware"; }
+  std::optional<Assignment> pick(const SchedulerContext& ctx) override;
+};
+
+enum class SchedulerKind { kLatencyGreedy, kRoundRobin, kEdf, kSlackAware };
+
+const char* scheduler_kind_name(SchedulerKind kind);
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind);
+
+}  // namespace xrbench::runtime

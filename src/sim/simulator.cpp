@@ -1,0 +1,72 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace xrbench::sim {
+
+EventId Simulator::schedule_at(TimeMs when, Callback cb) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(cb)});
+  ++live_events_;
+  return id;
+}
+
+EventId Simulator::schedule_after(TimeMs delay, Callback cb) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (is_cancelled(id)) return false;
+  // We cannot remove from the middle of a priority_queue; mark instead.
+  // The event is discarded (not fired) when popped.
+  cancelled_.insert(id);
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+bool Simulator::is_cancelled(EventId id) const {
+  return cancelled_.count(id) > 0;
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) {
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    now_ = ev.when;
+    --live_events_;
+    ++fired_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t fired = 0;
+  while (fire_next()) ++fired;
+  return fired;
+}
+
+std::size_t Simulator::run_until(TimeMs until) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled events to find the next live timestamp.
+    while (!queue_.empty() && is_cancelled(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > until) break;
+    if (fire_next()) ++fired;
+  }
+  now_ = std::max(now_, until);
+  return fired;
+}
+
+bool Simulator::step() { return fire_next(); }
+
+}  // namespace xrbench::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace xrbench::sim {
+
+/// Simulation time in milliseconds since run start.
+using TimeMs = double;
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+
+/// Deterministic discrete-event simulator.
+///
+/// Events at equal timestamps fire in scheduling order (FIFO tie-break), so a
+/// run is fully reproducible. The simulator is the time substrate for the
+/// XRBench runtime: sensor frame arrivals, inference completions, and
+/// deadline checks are all events.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. 0 before the first event fires.
+  TimeMs now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when` (>= now, clamped otherwise).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(TimeMs when, Callback cb);
+
+  /// Schedules `cb` `delay` milliseconds from now.
+  EventId schedule_after(TimeMs delay, Callback cb);
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// cancelled before, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty. Returns the number of events
+  /// fired.
+  std::size_t run();
+
+  /// Runs events with timestamp <= `until`, then sets now() to `until` if it
+  /// advanced past the last fired event. Returns events fired.
+  std::size_t run_until(TimeMs until);
+
+  /// Fires exactly one event if available. Returns false when queue is empty.
+  bool step();
+
+  bool empty() const { return live_events_ == 0; }
+  std::size_t pending_events() const { return live_events_; }
+  std::size_t fired_events() const { return fired_; }
+
+ private:
+  struct Event {
+    TimeMs when;
+    std::uint64_t seq;  // FIFO tie-break
+    EventId id;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  bool fire_next();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  TimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::size_t fired_ = 0;
+
+  bool is_cancelled(EventId id) const;
+};
+
+}  // namespace xrbench::sim

@@ -1,0 +1,109 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace xrbench::util {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path) : path_(path) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  out_.open(path);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (header_written_) {
+    throw std::logic_error("CsvWriter: header written twice");
+  }
+  columns_ = columns.size();
+  header_written_ = true;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!header_written_) {
+    throw std::logic_error("CsvWriter: row before header");
+  }
+  if (cells.size() != columns_) {
+    throw std::logic_error("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::cell(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+std::string CsvWriter::cell(std::int64_t v) { return std::to_string(v); }
+std::string CsvWriter::cell(std::size_t v) { return std::to_string(v); }
+std::string CsvWriter::cell(int v) { return std::to_string(v); }
+
+std::string CsvWriter::escape(const std::string& s) {
+  const bool needs_quote =
+      s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> cur_row;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cur_row.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\n') {
+      cur_row.push_back(std::move(cur));
+      cur.clear();
+      rows.push_back(std::move(cur_row));
+      cur_row.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  if (!cur.empty() || !cur_row.empty()) {
+    cur_row.push_back(std::move(cur));
+    rows.push_back(std::move(cur_row));
+  }
+  return rows;
+}
+
+}  // namespace xrbench::util

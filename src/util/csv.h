@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace xrbench::util {
+
+/// Minimal RFC-4180-ish CSV writer used by the benches to dump the data
+/// behind every reproduced table/figure (mirrors the artifact's
+/// `XRbench_evaluation/eval_data` output).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, creating parent directories as needed.
+  /// Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::filesystem::path& path);
+
+  /// Writes a header row. Must be called before any data rows (enforced).
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one row; cells are quoted when they contain separators/quotes.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: format doubles with 6 significant digits.
+  static std::string cell(double v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::size_t v);
+  static std::string cell(int v);
+
+  std::size_t rows_written() const { return rows_; }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& s);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Parses a CSV text blob back into rows of cells (used by tests to
+/// round-trip writer output; handles quoted cells and embedded commas).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace xrbench::util

@@ -1,0 +1,28 @@
+#include "util/logging.h"
+
+namespace xrbench::util {
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Log::~Log() {
+  if (level_ >= log_threshold()) {
+    std::cerr << "[xrbench:" << log_level_name(level_) << "] " << stream_.str()
+              << '\n';
+  }
+}
+
+}  // namespace xrbench::util

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace xrbench::util {
+
+/// Severity levels for harness diagnostics.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Defaults to kWarn so library users are not spammed; benches raise it.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+const char* log_level_name(LogLevel level);
+
+/// Stream-style logger: `Log(LogLevel::kInfo) << "x=" << x;` emits on
+/// destruction. Intentionally tiny; the harness is single-threaded.
+class Log {
+ public:
+  explicit Log(LogLevel level) : level_(level) {}
+  ~Log();
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  template <typename T>
+  Log& operator<<(const T& v) {
+    if (level_ >= log_threshold()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace xrbench::util

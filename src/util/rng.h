@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xrbench::util {
+
+/// Deterministic, seedable 64-bit PRNG (xoshiro256** with splitmix64 seeding).
+///
+/// The benchmark must be reproducible across platforms, so we avoid
+/// std::mt19937 distribution differences and implement both the generator and
+/// the distributions (uniform / Gaussian) ourselves. A single Rng instance is
+/// NOT thread-safe; create one per simulation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xC0FFEEULL) { reseed(seed); }
+
+  /// Re-initializes the internal state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard Gaussian (mean 0, stddev 1) via Box-Muller (cached pair).
+  double gaussian();
+
+  /// Gaussian with the given mean / stddev.
+  double gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t state_[4] = {};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Stateless hash-based random value in [0,1): the paper's
+/// `rand(inSrcID x InFrameID)` — every (source, frame) pair maps to a fixed
+/// pseudo-random draw, so request times are reproducible and independent of
+/// visit order.
+double hash_unit_interval(std::uint64_t key);
+
+/// Combines two 64-bit keys (e.g. source id and frame id) into one hash key.
+std::uint64_t combine_keys(std::uint64_t a, std::uint64_t b);
+
+}  // namespace xrbench::util

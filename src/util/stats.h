@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xrbench::util {
+
+/// Streaming summary statistics (Welford) over doubles.
+///
+/// Used throughout the harness to summarize per-inference latencies,
+/// energies, and scores without storing every sample.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-safe reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double variance() const;  ///< Population variance; 0 when count < 2.
+  double stddev() const;
+  double min() const;  ///< +inf when empty.
+  double max() const;  ///< -inf when empty.
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile over a stored sample set (used for tail-latency reports).
+/// Keeps all samples; prefer RunningStats when only moments are needed.
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Linear-interpolated percentile, p in [0, 100]. Returns 0 when empty.
+  double percentile(double p) const;
+
+  double median() const { return percentile(50.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Arithmetic mean of a vector; 0 for an empty vector.
+double mean_of(const std::vector<double>& xs);
+
+/// Geometric mean of a vector of non-negative values; 0 if any value is 0 or
+/// the vector is empty.
+double geomean_of(const std::vector<double>& xs);
+
+}  // namespace xrbench::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xrbench::util {
+
+/// Fixed-width ASCII table printer for bench/report output.
+///
+/// Columns are sized from their widest cell. Numeric cells should be
+/// pre-formatted by the caller (see fmt_double below).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (convenient for tests).
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals (bench output alignment).
+std::string fmt_double(double v, int decimals = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.471 -> "47.1%".
+std::string fmt_percent(double ratio, int decimals = 1);
+
+}  // namespace xrbench::util

@@ -1,0 +1,67 @@
+#include "workload/input_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace xrbench::workload {
+
+const char* input_source_name(InputSourceId id) {
+  switch (id) {
+    case InputSourceId::kCamera: return "Camera";
+    case InputSourceId::kLidar: return "Lidar";
+    case InputSourceId::kMicrophone: return "Microphone";
+  }
+  return "?";
+}
+
+const std::vector<InputSource>& all_input_sources() {
+  static const std::vector<InputSource> sources = {
+      {InputSourceId::kCamera, "Images", 60.0, 0.05, 1.0},
+      {InputSourceId::kLidar, "Sparse Depth Points", 60.0, 0.05, 2.0},
+      {InputSourceId::kMicrophone, "Audio", 3.0, 0.1, 5.0},
+  };
+  return sources;
+}
+
+const InputSource& input_source(InputSourceId id) {
+  for (const auto& src : all_input_sources()) {
+    if (src.id == id) return src;
+  }
+  throw std::invalid_argument("input_source: unknown source id");
+}
+
+double ideal_arrival_ms(const InputSource& src, std::int64_t frame) {
+  return src.init_latency_ms +
+         static_cast<double>(frame) * 1000.0 / src.fps;
+}
+
+double jitter_offset_ms(const InputSource& src, std::int64_t frame,
+                        std::uint64_t trial_seed) {
+  // rand(inSrcID x InFrameID), extended with the trial seed so repeated
+  // trials of dynamic scenarios observe fresh jitter.
+  const std::uint64_t key = util::combine_keys(
+      trial_seed,
+      util::combine_keys(static_cast<std::uint64_t>(src.id) + 1,
+                         static_cast<std::uint64_t>(frame)));
+  // Dist(x): clipped Gaussian centered at 0.5 (sigma chosen so ~99.9% of
+  // mass is inside [0,1] before clipping).
+  const double u1 = util::hash_unit_interval(key);
+  const double u2 = util::hash_unit_interval(key ^ 0x5BF03635DCE26E4DULL);
+  const double g =
+      std::sqrt(-2.0 * std::log(std::max(u1, 1e-300))) *
+      std::cos(2.0 * M_PI * u2);
+  const double dist = std::clamp(0.5 + g / 6.6, 0.0, 1.0);
+  return 2.0 * src.max_jitter_ms * (dist - 0.5);
+}
+
+double frame_arrival_ms(const InputSource& src, std::int64_t frame,
+                        std::uint64_t trial_seed, bool enable_jitter) {
+  double t = ideal_arrival_ms(src, frame);
+  if (enable_jitter) t += jitter_offset_ms(src, frame, trial_seed);
+  return t;
+}
+
+}  // namespace xrbench::workload

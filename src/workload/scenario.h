@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/task.h"
+#include "workload/unit_model.h"
+
+namespace xrbench::workload {
+
+/// Cross-model dependency kind (paper Table 2): the eye pipeline has a data
+/// dependency (GE consumes ES output), the speech pipeline a control
+/// dependency (SR is launched only when KD detects a keyword).
+enum class DependencyType { kNone, kData, kControl };
+
+const char* dependency_type_name(DependencyType t);
+
+/// One active model inside a usage scenario (Definition 4 element).
+struct ScenarioModel {
+  models::TaskId task = models::TaskId::kHT;
+  double target_fps = 30.0;  ///< FPS_model: target processing rate.
+  /// Upstream model this one depends on (Dep_mu), if any.
+  std::optional<models::TaskId> depends_on;
+  DependencyType dependency = DependencyType::kNone;
+  /// Probability that an upstream completion triggers this model
+  /// (1.0 for pure data dependencies; the paper's §4.1 cascading
+  /// probabilities for control dependencies: 0.2 outdoor, 0.5 AR assistant).
+  double trigger_probability = 1.0;
+};
+
+/// A usage scenario (Definition 4: theta).
+struct UsageScenario {
+  std::string name;
+  std::string description;  ///< Table-2 "Example Usage Scenario Description".
+  std::vector<ScenarioModel> models;
+
+  /// Returns the entry for `task`, or nullptr when the model is inactive
+  /// (deactivated, 0 FPS) in this scenario.
+  const ScenarioModel* find(models::TaskId task) const;
+
+  /// Number of active models, |theta|.
+  std::size_t num_models() const { return models.size(); }
+};
+
+/// The seven Table-2 usage scenarios, in paper order:
+/// Social Interaction A/B, Outdoor Activity A/B, AR Assistant, AR Gaming,
+/// VR Gaming. See DESIGN.md for the column-assignment notes on the rows the
+/// PDF table flattens ambiguously.
+const std::vector<UsageScenario>& benchmark_suite();
+
+/// Looks a scenario up by name (exact match). Throws on unknown name.
+const UsageScenario& scenario_by_name(const std::string& name);
+
+/// True when any model in the scenario has a control dependency with
+/// trigger probability < 1 (i.e. the workload is stochastic and benches
+/// should average multiple trials — paper §4.1 / appendix D.6).
+bool is_dynamic_scenario(const UsageScenario& scenario);
+
+/// Returns a copy of `scenario` with every data/control trigger probability
+/// on the ES->GE edge replaced by `p` (the Figure-7 cascade sweep).
+UsageScenario with_cascade_probability(const UsageScenario& scenario,
+                                       models::TaskId downstream, double p);
+
+}  // namespace xrbench::workload

@@ -1,0 +1,113 @@
+#include "workload/scenario_io.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/ini.h"
+#include "workload/input_source.h"
+#include "workload/unit_model.h"
+
+namespace xrbench::workload {
+namespace {
+
+DependencyType parse_dependency(const std::string& s) {
+  if (s == "data") return DependencyType::kData;
+  if (s == "control") return DependencyType::kControl;
+  throw std::invalid_argument(
+      "scenario config: dependency must be 'data' or 'control', got '" + s +
+      "'");
+}
+
+}  // namespace
+
+std::string to_config_text(const UsageScenario& scenario) {
+  util::IniDocument doc;
+  auto& head = doc.add_section("scenario");
+  head.set("name", scenario.name);
+  head.set("description", scenario.description);
+  for (const auto& m : scenario.models) {
+    auto& sec = doc.add_section("model");
+    sec.set("task", models::task_code(m.task));
+    sec.set_double("fps", m.target_fps);
+    if (m.depends_on) {
+      sec.set("depends_on", models::task_code(*m.depends_on));
+      sec.set("dependency", dependency_type_name(m.dependency));
+      sec.set_double("trigger_probability", m.trigger_probability);
+    }
+  }
+  return doc.to_string();
+}
+
+UsageScenario from_config_text(const std::string& text) {
+  const auto doc = util::IniDocument::parse(text);
+  const auto& head = doc.section("scenario");
+
+  UsageScenario scenario;
+  scenario.name = head.get("name");
+  scenario.description = head.get_or("description", "");
+
+  const auto model_secs = doc.sections("model");
+  if (model_secs.empty()) {
+    throw std::invalid_argument(
+        "scenario config: at least one [model] section is required");
+  }
+  std::set<models::TaskId> seen;
+  for (const auto* sec : model_secs) {
+    ScenarioModel m;
+    m.task = models::parse_task_code(sec->get("task"));
+    if (!seen.insert(m.task).second) {
+      throw std::invalid_argument("scenario config: duplicate task " +
+                                  std::string(models::task_code(m.task)));
+    }
+    m.target_fps = sec->get_double("fps");
+    const auto& src = input_source(driving_source(m.task));
+    if (m.target_fps <= 0.0 || m.target_fps > src.fps) {
+      throw std::invalid_argument(
+          "scenario config: fps for " +
+          std::string(models::task_code(m.task)) + " must be in (0, " +
+          std::to_string(src.fps) + "]");
+    }
+    if (sec->has("depends_on")) {
+      m.depends_on = models::parse_task_code(sec->get("depends_on"));
+      m.dependency = parse_dependency(sec->get("dependency"));
+      m.trigger_probability =
+          sec->has("trigger_probability")
+              ? sec->get_double("trigger_probability")
+              : 1.0;
+      if (m.trigger_probability < 0.0 || m.trigger_probability > 1.0) {
+        throw std::invalid_argument(
+            "scenario config: trigger_probability must be in [0,1]");
+      }
+    }
+    scenario.models.push_back(std::move(m));
+  }
+  // Dependencies must reference active models.
+  for (const auto& m : scenario.models) {
+    if (m.depends_on && scenario.find(*m.depends_on) == nullptr) {
+      throw std::invalid_argument(
+          "scenario config: " + std::string(models::task_code(m.task)) +
+          " depends on inactive model " +
+          std::string(models::task_code(*m.depends_on)));
+    }
+  }
+  return scenario;
+}
+
+void save_scenario(const UsageScenario& scenario,
+                   const std::filesystem::path& path) {
+  util::IniDocument::parse(to_config_text(scenario)).save(path);
+}
+
+UsageScenario load_scenario(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_scenario: cannot read " + path.string());
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return from_config_text(ss.str());
+}
+
+}  // namespace xrbench::workload

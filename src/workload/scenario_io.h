@@ -1,0 +1,37 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "workload/scenario.h"
+
+namespace xrbench::workload {
+
+/// Text-config serialization of usage scenarios (the benchmark-input side
+/// of Figure 2: "Workload Description / Usage Scenario Info"). Format:
+///
+///   [scenario]
+///   name = Custom AR
+///   description = my scenario
+///
+///   [model]                 ; one section per active model
+///   task = HT
+///   fps = 45
+///   depends_on = ES        ; optional
+///   dependency = data      ; data | control (required with depends_on)
+///   trigger_probability = 0.5
+///
+/// Enables user-defined scenarios beyond Table 2 without recompiling.
+
+std::string to_config_text(const UsageScenario& scenario);
+
+/// Parses a scenario from INI text. Validates: at least one model, no
+/// duplicate tasks, dependencies reference active models, probabilities in
+/// [0,1], FPS within the driving sensor's rate.
+UsageScenario from_config_text(const std::string& text);
+
+void save_scenario(const UsageScenario& scenario,
+                   const std::filesystem::path& path);
+UsageScenario load_scenario(const std::filesystem::path& path);
+
+}  // namespace xrbench::workload

@@ -1,0 +1,47 @@
+#include "workload/unit_model.h"
+
+#include <stdexcept>
+
+namespace xrbench::workload {
+
+using models::TaskId;
+
+const std::vector<UnitModelSpec>& all_unit_model_specs() {
+  using enum InputSourceId;
+  // Quality requirements are 95% of the model performance (105% of error)
+  // reported in the original papers (Table 1 caption). `measured` is set to
+  // the original-paper value, so the shipped proxies satisfy their goals
+  // (accuracy score saturates at 1, matching the paper's evaluation setup).
+  static const std::vector<UnitModelSpec> specs = {
+      {TaskId::kHT, "Stereo Hand Pose", {kCamera},
+       {"AUC PCK", 0.948, true, 0.998}},
+      {TaskId::kES, "OpenEDS 2019", {kCamera}, {"mIoU", 90.54, true, 95.3}},
+      {TaskId::kGE, "OpenEDS 2020", {kCamera},
+       {"Angular Error", 3.39, false, 3.23}},
+      {TaskId::kKD, "Google Speech Cmd", {kMicrophone},
+       {"Accuracy", 85.60, true, 90.1}},
+      {TaskId::kSR, "LibriSpeech", {kMicrophone},
+       {"WER (others)", 8.79, false, 8.37}},
+      {TaskId::kSS, "Cityscape", {kCamera}, {"mIoU", 77.54, true, 81.63}},
+      {TaskId::kOD, "COCO", {kCamera}, {"boxAP", 21.84, true, 23.0}},
+      {TaskId::kAS, "GTEA", {kCamera}, {"Accuracy", 60.8, true, 64.0}},
+      {TaskId::kDE, "KITTI", {kCamera}, {"delta>1.25", 22.9, false, 21.8}},
+      {TaskId::kDR, "KITTI", {kCamera, kLidar},
+       {"delta1 (100 samples)", 85.5, true, 90.0}},
+      {TaskId::kPD, "KITTI", {kCamera}, {"AP 0.6m", 0.37, true, 0.39}},
+  };
+  return specs;
+}
+
+const UnitModelSpec& unit_model_spec(TaskId task) {
+  for (const auto& spec : all_unit_model_specs()) {
+    if (spec.task == task) return spec;
+  }
+  throw std::invalid_argument("unit_model_spec: unknown task");
+}
+
+InputSourceId driving_source(TaskId task) {
+  return unit_model_spec(task).inputs.front();
+}
+
+}  // namespace xrbench::workload

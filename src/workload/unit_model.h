@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/task.h"
+#include "workload/input_source.h"
+
+namespace xrbench::workload {
+
+/// Model quality goal (Definition 2: Q = (QMID, QMTarg, QMType)).
+struct QualityGoal {
+  std::string metric;           ///< e.g. "mIoU", "WER", "boxAP"
+  double target = 0.0;          ///< QMTarg (Table 1 requirement value).
+  bool higher_is_better = true; ///< QMType: HiB (true) or LiB (false).
+  /// The reference model instance's achieved value on the Table-1 dataset.
+  /// The paper's evaluation fixes accuracy score = 1 (all proxies meet
+  /// their goals); benches can perturb this to exercise AccScore.
+  double measured = 0.0;
+};
+
+/// Static description of one unit model (Definition 3: mu in M).
+struct UnitModelSpec {
+  models::TaskId task = models::TaskId::kHT;
+  std::string dataset;                  ///< DSID (Table 1).
+  std::vector<InputSourceId> inputs;    ///< sigma; multi-modal models list >1.
+  QualityGoal quality;                  ///< Q.
+};
+
+/// Table-1 spec for a task (dataset, input sources, quality requirement).
+const UnitModelSpec& unit_model_spec(models::TaskId task);
+
+/// All 11 specs in Table-1 order.
+const std::vector<UnitModelSpec>& all_unit_model_specs();
+
+/// The driving (rate-defining) input source of a task. For multi-modal
+/// models this is the source whose frames pace inference requests
+/// (camera for DR; the lidar stream must also have arrived).
+InputSourceId driving_source(models::TaskId task);
+
+}  // namespace xrbench::workload

@@ -1,0 +1,128 @@
+#include "hw/accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace xrbench::hw {
+namespace {
+
+TEST(Accelerator, ThirteenDesigns) {
+  EXPECT_EQ(accelerator_ids().size(), 13u);
+  EXPECT_EQ(all_accelerators(4096).size(), 13u);
+}
+
+TEST(Accelerator, UnknownIdThrows) {
+  EXPECT_THROW(make_accelerator('Z', 4096), std::invalid_argument);
+  EXPECT_THROW(make_accelerator('a', 4096), std::invalid_argument);
+}
+
+TEST(Accelerator, ZeroPesThrows) {
+  ChipResources res;
+  res.total_pes = 0;
+  EXPECT_THROW(make_accelerator('A', res), std::invalid_argument);
+}
+
+TEST(Accelerator, StylesMatchTable5) {
+  const std::map<char, AccelStyle> expected = {
+      {'A', AccelStyle::kFDA},  {'B', AccelStyle::kFDA},
+      {'C', AccelStyle::kFDA},  {'D', AccelStyle::kSFDA},
+      {'E', AccelStyle::kSFDA}, {'F', AccelStyle::kSFDA},
+      {'G', AccelStyle::kSFDA}, {'H', AccelStyle::kSFDA},
+      {'I', AccelStyle::kSFDA}, {'J', AccelStyle::kHDA},
+      {'K', AccelStyle::kHDA},  {'L', AccelStyle::kHDA},
+      {'M', AccelStyle::kHDA},
+  };
+  for (const auto& [id, style] : expected) {
+    EXPECT_EQ(make_accelerator(id, 4096).style, style) << id;
+  }
+}
+
+TEST(Accelerator, SubAccelCountsMatchTable5) {
+  const std::map<char, std::size_t> expected = {
+      {'A', 1}, {'B', 1}, {'C', 1}, {'D', 2}, {'E', 2}, {'F', 2}, {'G', 4},
+      {'H', 4}, {'I', 4}, {'J', 2}, {'K', 2}, {'L', 2}, {'M', 4},
+  };
+  for (const auto& [id, count] : expected) {
+    EXPECT_EQ(make_accelerator(id, 4096).num_sub_accels(), count) << id;
+  }
+}
+
+TEST(Accelerator, FdaDataflows) {
+  using costmodel::Dataflow;
+  EXPECT_EQ(make_accelerator('A', 4096).sub_accels[0].dataflow, Dataflow::kWS);
+  EXPECT_EQ(make_accelerator('B', 4096).sub_accels[0].dataflow, Dataflow::kOS);
+  EXPECT_EQ(make_accelerator('C', 4096).sub_accels[0].dataflow, Dataflow::kRS);
+}
+
+TEST(Accelerator, HdaMixesDataflows) {
+  using costmodel::Dataflow;
+  const auto j = make_accelerator('J', 4096);
+  EXPECT_EQ(j.sub_accels[0].dataflow, Dataflow::kWS);
+  EXPECT_EQ(j.sub_accels[1].dataflow, Dataflow::kOS);
+  const auto m = make_accelerator('M', 8192);
+  EXPECT_EQ(m.sub_accels[0].dataflow, Dataflow::kWS);
+  EXPECT_EQ(m.sub_accels[1].dataflow, Dataflow::kOS);
+  EXPECT_EQ(m.sub_accels[2].dataflow, Dataflow::kWS);
+  EXPECT_EQ(m.sub_accels[3].dataflow, Dataflow::kOS);
+}
+
+TEST(Accelerator, AsymmetricPartitioning) {
+  const auto k = make_accelerator('K', 4096);  // WS:OS = 3:1
+  EXPECT_EQ(k.sub_accels[0].num_pes, 3072);
+  EXPECT_EQ(k.sub_accels[1].num_pes, 1024);
+  const auto l = make_accelerator('L', 4096);  // WS:OS = 1:3
+  EXPECT_EQ(l.sub_accels[0].num_pes, 1024);
+  EXPECT_EQ(l.sub_accels[1].num_pes, 3072);
+}
+
+TEST(Accelerator, ResourcesSplitProportionally) {
+  ChipResources res;
+  res.total_pes = 4096;
+  res.noc_gbps = 256.0;
+  res.sram_bytes = 8ll << 20;
+  const auto d = make_accelerator('D', res);
+  for (const auto& sa : d.sub_accels) {
+    EXPECT_EQ(sa.num_pes, 2048);
+    EXPECT_DOUBLE_EQ(sa.noc_bytes_per_cycle, 128.0);
+    EXPECT_EQ(sa.sram_bytes, 4ll << 20);
+  }
+}
+
+TEST(Accelerator, StyleNames) {
+  EXPECT_STREQ(accel_style_name(AccelStyle::kFDA), "FDA");
+  EXPECT_STREQ(accel_style_name(AccelStyle::kSFDA), "SFDA");
+  EXPECT_STREQ(accel_style_name(AccelStyle::kHDA), "HDA");
+}
+
+class AcceleratorInvariants
+    : public ::testing::TestWithParam<std::tuple<char, std::int64_t>> {};
+
+TEST_P(AcceleratorInvariants, PesSumToChipAndConfigsValid) {
+  const auto [id, pes] = GetParam();
+  const auto sys = make_accelerator(id, pes);
+  EXPECT_EQ(sys.total_pes(), pes) << id;
+  EXPECT_EQ(sys.id, std::string(1, id));
+  double noc_sum = 0.0;
+  std::int64_t sram_sum = 0;
+  for (const auto& sa : sys.sub_accels) {
+    EXPECT_TRUE(sa.valid()) << sa.id;
+    EXPECT_GT(sa.num_pes, 0);
+    noc_sum += sa.noc_bytes_per_cycle;
+    sram_sum += sa.sram_bytes;
+  }
+  EXPECT_NEAR(noc_sum, 256.0, 1e-9);
+  EXPECT_EQ(sram_sum, 8ll << 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5Grid, AcceleratorInvariants,
+    ::testing::Combine(::testing::ValuesIn(accelerator_ids()),
+                       ::testing::Values(4096ll, 8192ll)),
+    [](const auto& info) {
+      return std::string(1, std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace xrbench::hw

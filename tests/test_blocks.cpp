@@ -1,0 +1,108 @@
+#include "models/blocks.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/layer.h"
+
+namespace xrbench::models {
+namespace {
+
+using costmodel::ModelGraph;
+using costmodel::OpType;
+
+std::int64_t count_type(const ModelGraph& g, OpType t) {
+  std::int64_t n = 0;
+  for (const auto& l : g.layers()) {
+    if (l.type == t) ++n;
+  }
+  return n;
+}
+
+TEST(Blocks, ConvBnReluDownsamples) {
+  ModelGraph g("t");
+  const auto out = conv_bn_relu(g, "c", 3, 16, SpatialDims{64, 64}, 3, 2);
+  EXPECT_EQ(out.h, 32);
+  EXPECT_EQ(out.w, 32);
+  EXPECT_EQ(g.num_layers(), 2u);  // conv + activation
+  EXPECT_EQ(count_type(g, OpType::kConv2d), 1);
+}
+
+TEST(Blocks, ResidualBlockAddsProjectionOnShapeChange) {
+  ModelGraph same("same");
+  (void)residual_block(same, "r", 32, 32, SpatialDims{16, 16}, 1);
+  ModelGraph changed("changed");
+  (void)residual_block(changed, "r", 32, 64, SpatialDims{16, 16}, 2);
+  // Shape change adds one extra 1x1 projection conv.
+  EXPECT_EQ(count_type(changed, OpType::kConv2d),
+            count_type(same, OpType::kConv2d) + 1);
+}
+
+TEST(Blocks, BottleneckQuadruplesChannels) {
+  ModelGraph g("t");
+  const auto out = bottleneck_block(g, "b", 64, 64, SpatialDims{32, 32}, 2);
+  EXPECT_EQ(out.h, 16);
+  // The expand conv outputs 4 * mid_ch channels.
+  bool found_expand = false;
+  for (const auto& l : g.layers()) {
+    if (l.name == "b.expand.conv") {
+      EXPECT_EQ(l.k, 256);
+      found_expand = true;
+    }
+  }
+  EXPECT_TRUE(found_expand);
+}
+
+TEST(Blocks, InvertedResidualStructure) {
+  ModelGraph g("t");
+  (void)inverted_residual(g, "ir", 32, 32, SpatialDims{16, 16}, 6, 3, 1);
+  EXPECT_EQ(count_type(g, OpType::kDepthwiseConv2d), 1);
+  // expand + project pointwise convs.
+  EXPECT_EQ(count_type(g, OpType::kConv2d), 2);
+  // Stride-1 same-channel block has a residual add.
+  bool has_add = false;
+  for (const auto& l : g.layers()) {
+    if (l.name == "ir.add") has_add = true;
+  }
+  EXPECT_TRUE(has_add);
+}
+
+TEST(Blocks, InvertedResidualNoSkipOnStride) {
+  ModelGraph g("t");
+  (void)inverted_residual(g, "ir", 32, 64, SpatialDims{16, 16}, 6, 3, 2);
+  for (const auto& l : g.layers()) {
+    EXPECT_NE(l.name, "ir.add");
+  }
+}
+
+TEST(Blocks, ExpandRatioOneSkipsExpansion) {
+  ModelGraph g("t");
+  (void)inverted_residual(g, "ir", 32, 32, SpatialDims{16, 16}, 1, 3, 1);
+  EXPECT_EQ(count_type(g, OpType::kConv2d), 1);  // only the projection
+}
+
+TEST(Blocks, TransformerBlockOpInventory) {
+  ModelGraph g("t");
+  transformer_block(g, "tb", 16, 256, 1024, 8);
+  EXPECT_EQ(count_type(g, OpType::kMatMul), 8);  // qkv(3)+qk+av+proj+ffn(2)
+  EXPECT_EQ(count_type(g, OpType::kLayerNorm), 2);
+  EXPECT_EQ(count_type(g, OpType::kSoftmax), 1);
+}
+
+TEST(Blocks, TransformerKvTokensScaleAttention) {
+  ModelGraph narrow("n"), wide("w");
+  transformer_block(narrow, "tb", 16, 256, 1024, 8, /*kv_tokens=*/16);
+  transformer_block(wide, "tb", 16, 256, 1024, 8, /*kv_tokens=*/64);
+  EXPECT_GT(wide.total_macs(), narrow.total_macs());
+}
+
+TEST(Blocks, UnetUpBlockDoublesResolution) {
+  ModelGraph g("t");
+  const auto out = unet_up_block(g, "up", 64, 64, 32, SpatialDims{8, 8});
+  EXPECT_EQ(out.h, 16);
+  EXPECT_EQ(out.w, 16);
+  EXPECT_EQ(count_type(g, OpType::kUpsample), 1);
+  EXPECT_EQ(count_type(g, OpType::kConv2d), 2);
+}
+
+}  // namespace
+}  // namespace xrbench::models

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "hw/config_io.h"
+#include "workload/scenario_io.h"
+
+namespace xrbench {
+namespace {
+
+TEST(HwConfigIo, RoundTripsTable5Designs) {
+  for (char id : hw::accelerator_ids()) {
+    const auto original = hw::make_accelerator(id, 8192);
+    const auto text = hw::to_config_text(original);
+    const auto loaded = hw::from_config_text(text);
+    EXPECT_EQ(loaded.id, original.id);
+    EXPECT_EQ(loaded.style, original.style);
+    ASSERT_EQ(loaded.sub_accels.size(), original.sub_accels.size()) << id;
+    for (std::size_t i = 0; i < loaded.sub_accels.size(); ++i) {
+      EXPECT_EQ(loaded.sub_accels[i].dataflow,
+                original.sub_accels[i].dataflow);
+      EXPECT_EQ(loaded.sub_accels[i].num_pes, original.sub_accels[i].num_pes);
+      EXPECT_NEAR(loaded.sub_accels[i].noc_bytes_per_cycle,
+                  original.sub_accels[i].noc_bytes_per_cycle, 1e-6);
+      // SRAM is serialized in whole KiB.
+      EXPECT_NEAR(static_cast<double>(loaded.sub_accels[i].sram_bytes),
+                  static_cast<double>(original.sub_accels[i].sram_bytes),
+                  1024.0);
+    }
+  }
+}
+
+TEST(HwConfigIo, ParsesHandWrittenConfig) {
+  const auto sys = hw::from_config_text(
+      "[chip]\n"
+      "id = X\n"
+      "style = HDA\n"
+      "clock_ghz = 0.8\n"
+      "[sub_accel]\n"
+      "dataflow = WS\n"
+      "num_pes = 1024\n"
+      "noc_gbps = 64\n"
+      "offchip_gbps = 8\n"
+      "sram_kib = 2048\n"
+      "[sub_accel]\n"
+      "dataflow = RS\n"
+      "num_pes = 512\n"
+      "noc_gbps = 32\n"
+      "offchip_gbps = 4\n"
+      "sram_kib = 1024\n");
+  EXPECT_EQ(sys.id, "X");
+  EXPECT_EQ(sys.style, hw::AccelStyle::kHDA);
+  ASSERT_EQ(sys.sub_accels.size(), 2u);
+  EXPECT_EQ(sys.sub_accels[0].dataflow, costmodel::Dataflow::kWS);
+  EXPECT_EQ(sys.sub_accels[1].dataflow, costmodel::Dataflow::kRS);
+  EXPECT_EQ(sys.sub_accels[1].num_pes, 512);
+  EXPECT_DOUBLE_EQ(sys.sub_accels[0].clock_ghz, 0.8);
+  // noc_gbps is converted to bytes/cycle at the chip clock.
+  EXPECT_NEAR(sys.sub_accels[0].noc_bytes_per_cycle, 64.0 / 0.8, 1e-9);
+}
+
+TEST(HwConfigIo, RejectsInvalidConfigs) {
+  EXPECT_THROW(hw::from_config_text("[chip]\nid = X\n"),
+               std::invalid_argument);  // no sub_accel
+  EXPECT_THROW(hw::from_config_text(
+                   "[chip]\nstyle = NOPE\n[sub_accel]\ndataflow = WS\n"
+                   "num_pes = 1\nnoc_gbps = 1\noffchip_gbps = 1\n"
+                   "sram_kib = 1\n"),
+               std::invalid_argument);  // bad style
+  EXPECT_THROW(hw::from_config_text(
+                   "[chip]\nid = X\n[sub_accel]\ndataflow = QQ\n"
+                   "num_pes = 1\nnoc_gbps = 1\noffchip_gbps = 1\n"
+                   "sram_kib = 1\n"),
+               std::invalid_argument);  // bad dataflow
+  EXPECT_THROW(hw::from_config_text(
+                   "[chip]\nid = X\n[sub_accel]\ndataflow = WS\n"
+                   "num_pes = 0\nnoc_gbps = 1\noffchip_gbps = 1\n"
+                   "sram_kib = 1\n"),
+               std::invalid_argument);  // zero PEs
+}
+
+TEST(HwConfigIo, StyleParsing) {
+  EXPECT_EQ(hw::parse_accel_style("FDA"), hw::AccelStyle::kFDA);
+  EXPECT_EQ(hw::parse_accel_style("SFDA"), hw::AccelStyle::kSFDA);
+  EXPECT_EQ(hw::parse_accel_style("HDA"), hw::AccelStyle::kHDA);
+  EXPECT_THROW(hw::parse_accel_style("fda"), std::invalid_argument);
+}
+
+TEST(ScenarioIo, RoundTripsTable2Suite) {
+  for (const auto& scenario : workload::benchmark_suite()) {
+    const auto text = workload::to_config_text(scenario);
+    const auto loaded = workload::from_config_text(text);
+    EXPECT_EQ(loaded.name, scenario.name);
+    ASSERT_EQ(loaded.models.size(), scenario.models.size()) << scenario.name;
+    for (std::size_t i = 0; i < loaded.models.size(); ++i) {
+      EXPECT_EQ(loaded.models[i].task, scenario.models[i].task);
+      EXPECT_DOUBLE_EQ(loaded.models[i].target_fps,
+                       scenario.models[i].target_fps);
+      EXPECT_EQ(loaded.models[i].depends_on, scenario.models[i].depends_on);
+      EXPECT_EQ(loaded.models[i].dependency, scenario.models[i].dependency);
+      EXPECT_DOUBLE_EQ(loaded.models[i].trigger_probability,
+                       scenario.models[i].trigger_probability);
+    }
+  }
+}
+
+TEST(ScenarioIo, ParsesCustomScenario) {
+  const auto scenario = workload::from_config_text(
+      "[scenario]\n"
+      "name = Custom\n"
+      "description = test\n"
+      "[model]\n"
+      "task = HT\n"
+      "fps = 30\n"
+      "[model]\n"
+      "task = SR\n"
+      "fps = 3\n"
+      "depends_on = HT\n"
+      "dependency = control\n"
+      "trigger_probability = 0.4\n");
+  EXPECT_EQ(scenario.name, "Custom");
+  ASSERT_EQ(scenario.models.size(), 2u);
+  EXPECT_EQ(scenario.models[1].dependency,
+            workload::DependencyType::kControl);
+  EXPECT_DOUBLE_EQ(scenario.models[1].trigger_probability, 0.4);
+}
+
+TEST(ScenarioIo, RejectsInvalidScenarios) {
+  // No models.
+  EXPECT_THROW(workload::from_config_text("[scenario]\nname = x\n"),
+               std::invalid_argument);
+  // Duplicate task.
+  EXPECT_THROW(workload::from_config_text(
+                   "[scenario]\nname = x\n[model]\ntask = HT\nfps = 30\n"
+                   "[model]\ntask = HT\nfps = 60\n"),
+               std::invalid_argument);
+  // FPS above the sensor rate (mic streams at 3 FPS).
+  EXPECT_THROW(workload::from_config_text(
+                   "[scenario]\nname = x\n[model]\ntask = KD\nfps = 30\n"),
+               std::invalid_argument);
+  // Dependency on inactive model.
+  EXPECT_THROW(workload::from_config_text(
+                   "[scenario]\nname = x\n[model]\ntask = GE\nfps = 60\n"
+                   "depends_on = ES\ndependency = data\n"),
+               std::invalid_argument);
+  // Probability out of range.
+  EXPECT_THROW(workload::from_config_text(
+                   "[scenario]\nname = x\n[model]\ntask = ES\nfps = 60\n"
+                   "[model]\ntask = GE\nfps = 60\ndepends_on = ES\n"
+                   "dependency = data\ntrigger_probability = 1.5\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "xrbench_scenario_test.ini";
+  workload::save_scenario(workload::scenario_by_name("VR Gaming"), path);
+  const auto loaded = workload::load_scenario(path);
+  EXPECT_EQ(loaded.name, "VR Gaming");
+  std::filesystem::remove(path);
+}
+
+TEST(HwConfigIo, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "xrbench_hw_test.ini";
+  hw::save_accelerator(hw::make_accelerator('K', 4096), path);
+  const auto loaded = hw::load_accelerator(path);
+  EXPECT_EQ(loaded.id, "K");
+  EXPECT_EQ(loaded.sub_accels.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace xrbench

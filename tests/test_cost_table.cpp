@@ -1,0 +1,68 @@
+#include "runtime/cost_table.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace xrbench::runtime {
+namespace {
+
+TEST(CostTable, CoversAllTasksAndSubAccels) {
+  costmodel::AnalyticalCostModel cm;
+  const auto sys = hw::make_accelerator('M', 8192);  // 4 sub-accels
+  const CostTable table(sys, cm);
+  EXPECT_EQ(table.num_sub_accels(), 4u);
+  for (models::TaskId t : models::all_tasks()) {
+    for (std::size_t sa = 0; sa < 4; ++sa) {
+      EXPECT_GT(table.latency_ms(t, sa), 0.0);
+      EXPECT_GT(table.energy_mj(t, sa), 0.0);
+    }
+  }
+}
+
+TEST(CostTable, OutOfRangeSubAccelThrows) {
+  costmodel::AnalyticalCostModel cm;
+  const auto sys = hw::make_accelerator('A', 4096);
+  const CostTable table(sys, cm);
+  EXPECT_THROW(table.cost(models::TaskId::kHT, 1), std::out_of_range);
+}
+
+TEST(CostTable, MatchesDirectCostModelEvaluation) {
+  costmodel::AnalyticalCostModel cm;
+  const auto sys = hw::make_accelerator('J', 4096);
+  const CostTable table(sys, cm);
+  for (models::TaskId t :
+       {models::TaskId::kHT, models::TaskId::kPD, models::TaskId::kKD}) {
+    for (std::size_t sa = 0; sa < sys.sub_accels.size(); ++sa) {
+      const auto mc = cm.model_cost(models::model_graph(t), sys.sub_accels[sa]);
+      EXPECT_DOUBLE_EQ(table.latency_ms(t, sa), mc.latency_ms);
+      EXPECT_DOUBLE_EQ(table.energy_mj(t, sa), mc.energy_mj);
+    }
+  }
+}
+
+TEST(CostTable, FastestSubAccelIsArgmin) {
+  costmodel::AnalyticalCostModel cm;
+  const auto sys = hw::make_accelerator('K', 8192);  // asymmetric WS/OS
+  const CostTable table(sys, cm);
+  for (models::TaskId t : models::all_tasks()) {
+    const std::size_t best = table.fastest_sub_accel(t);
+    for (std::size_t sa = 0; sa < table.num_sub_accels(); ++sa) {
+      EXPECT_LE(table.latency_ms(t, best), table.latency_ms(t, sa))
+          << models::task_code(t);
+    }
+  }
+}
+
+TEST(CostTable, BiggerPartitionIsFasterForHeavyModels) {
+  costmodel::AnalyticalCostModel cm;
+  const auto sys = hw::make_accelerator('K', 8192);  // WS 6144 : OS 2048
+  const CostTable table(sys, cm);
+  // PD is convolution-heavy; the 3x bigger WS partition should beat the
+  // small OS one.
+  EXPECT_LT(table.latency_ms(models::TaskId::kPD, 0),
+            table.latency_ms(models::TaskId::kPD, 1));
+}
+
+}  // namespace
+}  // namespace xrbench::runtime

@@ -1,0 +1,135 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace xrbench::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::filesystem::path tmp_path() const {
+    return std::filesystem::temp_directory_path() /
+           ("xrbench_csv_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()) +
+            ".csv");
+  }
+
+  std::string slurp(const std::filesystem::path& p) const {
+    std::ifstream in(p);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  void TearDown() override { std::filesystem::remove(tmp_path()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(tmp_path());
+    w.header({"a", "b"});
+    w.row({"1", "2"});
+    w.row({"3", "4"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(slurp(tmp_path()), "a,b\n1,2\n3,4\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter w(tmp_path());
+    w.header({"name"});
+    w.row({"has,comma"});
+    w.row({"has\"quote"});
+    w.row({"has\nnewline"});
+  }
+  const auto rows = parse_csv(slurp(tmp_path()));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[1][0], "has,comma");
+  EXPECT_EQ(rows[2][0], "has\"quote");
+  EXPECT_EQ(rows[3][0], "has\nnewline");
+}
+
+TEST_F(CsvTest, RowBeforeHeaderThrows) {
+  CsvWriter w(tmp_path());
+  EXPECT_THROW(w.row({"x"}), std::logic_error);
+}
+
+TEST_F(CsvTest, DoubleHeaderThrows) {
+  CsvWriter w(tmp_path());
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), std::logic_error);
+}
+
+TEST_F(CsvTest, WidthMismatchThrows) {
+  CsvWriter w(tmp_path());
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::logic_error);
+}
+
+TEST_F(CsvTest, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "xrbench_csv_nested" / "deep";
+  const auto path = dir / "out.csv";
+  std::filesystem::remove_all(dir.parent_path());
+  {
+    CsvWriter w(path);
+    w.header({"x"});
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(CsvCell, Formats) {
+  EXPECT_EQ(CsvWriter::cell(42), "42");
+  EXPECT_EQ(CsvWriter::cell(std::size_t{7}), "7");
+  EXPECT_EQ(CsvWriter::cell(std::int64_t{-5}), "-5");
+  EXPECT_EQ(CsvWriter::cell(1.5), "1.5");
+}
+
+TEST(ParseCsv, EmptyString) { EXPECT_TRUE(parse_csv("").empty()); }
+
+TEST(ParseCsv, HandlesCrLf) {
+  const auto rows = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "1");
+}
+
+TEST(ParseCsv, EscapedQuoteInsideQuotes) {
+  const auto rows = parse_csv("\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "he said \"hi\"");
+}
+
+TEST(ParseCsv, LastLineWithoutNewline) {
+  const auto rows = parse_csv("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+}
+
+TEST_F(CsvTest, RoundTripRandomish) {
+  std::vector<std::vector<std::string>> data = {
+      {"plain", "with,comma", "with\"quote"},
+      {"", "multi\nline", "tail"},
+  };
+  {
+    CsvWriter w(tmp_path());
+    w.header({"c1", "c2", "c3"});
+    for (const auto& r : data) w.row(r);
+  }
+  const auto rows = parse_csv(slurp(tmp_path()));
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(rows[i + 1], data[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xrbench::util

@@ -1,0 +1,53 @@
+#include "costmodel/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace xrbench::costmodel {
+namespace {
+
+TEST(ModelGraph, EmptyGraph) {
+  ModelGraph g("empty");
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.total_macs(), 0);
+  EXPECT_EQ(g.total_params(), 0);
+  EXPECT_EQ(g.total_flops(), 0);
+  EXPECT_EQ(g.name(), "empty");
+}
+
+TEST(ModelGraph, AccumulatesTotals) {
+  ModelGraph g("g");
+  g.add(conv2d("c1", 4, 8, 8, 8, 3, 1));
+  g.add(conv2d("c2", 8, 8, 8, 8, 3, 1));
+  const std::int64_t macs1 = 8ll * 4 * 8 * 8 * 9;
+  const std::int64_t macs2 = 8ll * 8 * 8 * 8 * 9;
+  EXPECT_EQ(g.total_macs(), macs1 + macs2);
+  EXPECT_EQ(g.total_flops(), 2 * (macs1 + macs2));
+  EXPECT_EQ(g.num_layers(), 2u);
+}
+
+TEST(ModelGraph, RejectsInvalidLayer) {
+  ModelGraph g("g");
+  Layer bad = conv2d("c", 4, 8, 8, 8, 3, 1);
+  bad.k = 0;
+  EXPECT_THROW(g.add(bad), std::invalid_argument);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(ModelGraph, ActivationBytesSumOutputs) {
+  ModelGraph g("g");
+  g.add(conv2d("c", 4, 8, 8, 8, 3, 1));
+  g.add(elementwise("e", 100));
+  EXPECT_EQ(g.total_activation_bytes(), 8ll * 8 * 8 + 100);
+}
+
+TEST(ModelGraph, LayersPreserveOrder) {
+  ModelGraph g("g");
+  g.add(conv2d("first", 1, 1, 4, 4, 1, 1));
+  g.add(elementwise("second", 10));
+  ASSERT_EQ(g.num_layers(), 2u);
+  EXPECT_EQ(g.layers()[0].name, "first");
+  EXPECT_EQ(g.layers()[1].name, "second");
+}
+
+}  // namespace
+}  // namespace xrbench::costmodel

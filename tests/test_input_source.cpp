@@ -1,0 +1,101 @@
+#include "workload/input_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xrbench::workload {
+namespace {
+
+TEST(InputSource, Table3Rates) {
+  EXPECT_DOUBLE_EQ(input_source(InputSourceId::kCamera).fps, 60.0);
+  EXPECT_DOUBLE_EQ(input_source(InputSourceId::kLidar).fps, 60.0);
+  EXPECT_DOUBLE_EQ(input_source(InputSourceId::kMicrophone).fps, 3.0);
+}
+
+TEST(InputSource, Table3Jitters) {
+  EXPECT_DOUBLE_EQ(input_source(InputSourceId::kCamera).max_jitter_ms, 0.05);
+  EXPECT_DOUBLE_EQ(input_source(InputSourceId::kLidar).max_jitter_ms, 0.05);
+  EXPECT_DOUBLE_EQ(input_source(InputSourceId::kMicrophone).max_jitter_ms,
+                   0.1);
+}
+
+TEST(InputSource, Names) {
+  EXPECT_STREQ(input_source_name(InputSourceId::kCamera), "Camera");
+  EXPECT_STREQ(input_source_name(InputSourceId::kLidar), "Lidar");
+  EXPECT_STREQ(input_source_name(InputSourceId::kMicrophone), "Microphone");
+}
+
+TEST(InputSource, ThreeSources) {
+  EXPECT_EQ(all_input_sources().size(), 3u);
+}
+
+TEST(IdealArrival, FollowsStreamingRate) {
+  const auto& cam = input_source(InputSourceId::kCamera);
+  EXPECT_DOUBLE_EQ(ideal_arrival_ms(cam, 0), cam.init_latency_ms);
+  EXPECT_NEAR(ideal_arrival_ms(cam, 60) - ideal_arrival_ms(cam, 0), 1000.0,
+              1e-9);
+  // Consecutive frames are 1/60 s apart.
+  EXPECT_NEAR(ideal_arrival_ms(cam, 1) - ideal_arrival_ms(cam, 0),
+              1000.0 / 60.0, 1e-9);
+}
+
+TEST(Jitter, BoundedByMaxJitter) {
+  for (const auto& src : all_input_sources()) {
+    for (std::int64_t f = 0; f < 500; ++f) {
+      const double j = jitter_offset_ms(src, f, /*trial_seed=*/7);
+      EXPECT_LE(std::abs(j), src.max_jitter_ms + 1e-12)
+          << input_source_name(src.id) << " frame " << f;
+    }
+  }
+}
+
+TEST(Jitter, DeterministicPerSeed) {
+  const auto& cam = input_source(InputSourceId::kCamera);
+  for (std::int64_t f = 0; f < 50; ++f) {
+    EXPECT_DOUBLE_EQ(jitter_offset_ms(cam, f, 1), jitter_offset_ms(cam, f, 1));
+  }
+}
+
+TEST(Jitter, VariesAcrossSeeds) {
+  const auto& cam = input_source(InputSourceId::kCamera);
+  int distinct = 0;
+  for (std::int64_t f = 0; f < 50; ++f) {
+    if (jitter_offset_ms(cam, f, 1) != jitter_offset_ms(cam, f, 2)) ++distinct;
+  }
+  EXPECT_GT(distinct, 40);
+}
+
+TEST(Jitter, RoughlyZeroMean) {
+  const auto& mic = input_source(InputSourceId::kMicrophone);
+  double sum = 0.0;
+  constexpr std::int64_t kN = 20000;
+  for (std::int64_t f = 0; f < kN; ++f) {
+    sum += jitter_offset_ms(mic, f, 3);
+  }
+  EXPECT_NEAR(sum / static_cast<double>(kN), 0.0, 0.01);
+}
+
+TEST(FrameArrival, JitterToggle) {
+  const auto& cam = input_source(InputSourceId::kCamera);
+  const double without = frame_arrival_ms(cam, 10, 5, /*enable_jitter=*/false);
+  EXPECT_DOUBLE_EQ(without, ideal_arrival_ms(cam, 10));
+  const double with = frame_arrival_ms(cam, 10, 5, /*enable_jitter=*/true);
+  EXPECT_LE(std::abs(with - without), cam.max_jitter_ms + 1e-12);
+}
+
+TEST(FrameArrival, MonotoneInFrameIndex) {
+  // Jitter (0.05-0.1 ms) is far below the inter-frame gap (16.7 / 333 ms),
+  // so arrivals must stay strictly increasing.
+  for (const auto& src : all_input_sources()) {
+    double prev = -1.0;
+    for (std::int64_t f = 0; f < 200; ++f) {
+      const double t = frame_arrival_ms(src, f, 11);
+      EXPECT_GT(t, prev) << input_source_name(src.id) << " frame " << f;
+      prev = t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xrbench::workload

@@ -1,0 +1,241 @@
+// End-to-end integration tests: the paper's headline qualitative results
+// must hold on the reproduction substrate (see DESIGN.md §6 and
+// EXPERIMENTS.md). These are the regression guards for the benches.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/pareto.h"
+#include "hw/config_io.h"
+#include "workload/scenario_io.h"
+
+namespace xrbench::core {
+namespace {
+
+using models::TaskId;
+using workload::scenario_by_name;
+
+BenchmarkOutcome run_design(char id, std::int64_t pes) {
+  HarnessOptions opt;
+  opt.dynamic_trials = 3;
+  Harness h(hw::make_accelerator(id, pes), opt);
+  return h.run_suite();
+}
+
+TEST(Integration, Figure6_4kJFailsPlaneDetection) {
+  Harness h(hw::make_accelerator('J', 4096));
+  const auto out = h.run_scenario(scenario_by_name("AR Gaming"));
+  const auto* pd = out.score.find(TaskId::kPD);
+  ASSERT_NE(pd, nullptr);
+  // PD's deadline violations zero its real-time score (paper §4.2.2).
+  EXPECT_LT(pd->rt, 0.05);
+  // And a large share of frames is either dropped or finishes late.
+  std::int64_t bad = 0, expected = 0;
+  for (const auto& m : out.score.models) {
+    bad += m.frames_dropped + m.deadline_misses;
+    expected += m.frames_expected;
+  }
+  EXPECT_GT(static_cast<double>(bad) / static_cast<double>(expected), 0.25);
+}
+
+TEST(Integration, Figure6_8kJIsFarHealthier) {
+  Harness h4(hw::make_accelerator('J', 4096));
+  Harness h8(hw::make_accelerator('J', 8192));
+  const auto o4 = h4.run_scenario(scenario_by_name("AR Gaming"));
+  const auto o8 = h8.run_scenario(scenario_by_name("AR Gaming"));
+  EXPECT_GT(o8.score.qoe, o4.score.qoe);
+  EXPECT_GT(o8.score.overall, o4.score.overall + 0.1);
+  // At 8K the PD real-time score recovers (4K pinned it at ~0).
+  EXPECT_LT(o4.score.find(TaskId::kPD)->rt, 0.05);
+  EXPECT_GT(o8.score.find(TaskId::kPD)->rt,
+            o4.score.find(TaskId::kPD)->rt + 0.25);
+}
+
+TEST(Integration, Figure6_UtilizationIsTheWrongMetric) {
+  // The 4K system shows HIGHER utilization but a far WORSE score — the
+  // paper's §4.2.2 argument.
+  Harness h4(hw::make_accelerator('J', 4096));
+  Harness h8(hw::make_accelerator('J', 8192));
+  const auto r4 = h4.run_once(scenario_by_name("AR Gaming"), 42);
+  const auto r8 = h8.run_once(scenario_by_name("AR Gaming"), 42);
+  const double u4 = (r4.utilization(0) + r4.utilization(1)) / 2.0;
+  const double u8 = (r8.utilization(0) + r8.utilization(1)) / 2.0;
+  EXPECT_GT(u4, u8);
+  const auto s4 = score_scenario(r4, ScoreConfig{});
+  const auto s8 = score_scenario(r8, ScoreConfig{});
+  EXPECT_LT(s4.overall, s8.overall);
+}
+
+TEST(Integration, Observation1_ScenarioWinnersDiffer) {
+  // §4.4 Observation 1: no single accelerator is best for every scenario —
+  // the per-scenario argmax over the designs is not constant.
+  std::vector<BenchmarkOutcome> outs;
+  for (char id : hw::accelerator_ids()) {
+    outs.push_back(run_design(id, 4096));
+  }
+  std::set<std::string> winners;
+  for (std::size_t s = 0; s < outs.front().scenarios.size(); ++s) {
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < outs.size(); ++a) {
+      if (outs[a].scenarios[s].score.overall >
+          outs[best].scenarios[s].score.overall) {
+        best = a;
+      }
+    }
+    winners.insert(outs[best].accelerator_id);
+  }
+  EXPECT_GE(winners.size(), 2u);
+}
+
+TEST(Integration, Observation2_BestStyleDependsOnChipSize) {
+  // §4.4 Observation 2: for at least one scenario the winning design
+  // changes between 4K and 8K PEs.
+  auto winners = [](std::int64_t pes) {
+    std::vector<char> best(7, 'A');
+    std::vector<double> best_score(7, -1.0);
+    for (char id : {'A', 'C', 'D', 'F', 'G', 'J', 'M'}) {
+      const auto out = run_design(id, pes);
+      for (std::size_t s = 0; s < out.scenarios.size(); ++s) {
+        if (out.scenarios[s].score.overall > best_score[s]) {
+          best_score[s] = out.scenarios[s].score.overall;
+          best[s] = id;
+        }
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(winners(4096), winners(8192));
+}
+
+TEST(Integration, Observation3_QuadPartitionsPenalizedOnFewModelScenario) {
+  // §4.4 Observation 3 (relative form that holds on this substrate): the
+  // quad-partitioned design G loses far more ground to the monolithic A on
+  // the fewest-model scenario (VR gaming, 3 models — each 1K-PE partition
+  // is too slow for 45/60 FPS pipelines) than on the many-model scenario
+  // (AR assistant, 6 models — parallelism compensates).
+  const auto a = run_design('A', 4096);
+  const auto g = run_design('G', 4096);
+  const double assistant_gap =
+      a.scenarios[4].score.overall - g.scenarios[4].score.overall;
+  const double vr_gap =
+      a.scenarios[6].score.overall - g.scenarios[6].score.overall;
+  EXPECT_GT(vr_gap, assistant_gap);
+}
+
+TEST(Integration, Figure7_ScoresStableAcrossCascadeProbability) {
+  // Figure 7: overall scores move only mildly as the ES->GE cascading
+  // probability sweeps 25% -> 100%.
+  HarnessOptions opt;
+  opt.dynamic_trials = 10;
+  Harness h(hw::make_accelerator('J', 4096), opt);
+  std::vector<double> overall;
+  for (double p : {0.25, 0.5, 0.75, 1.0}) {
+    const auto scenario = workload::with_cascade_probability(
+        scenario_by_name("VR Gaming"), TaskId::kGE, p);
+    overall.push_back(h.run_scenario(scenario).score.overall);
+  }
+  for (double v : overall) {
+    EXPECT_GT(v, 0.5);
+  }
+  // Max swing across the sweep stays small (paper reports ~0.03 on the
+  // high-score design).
+  const auto [mn, mx] = std::minmax_element(overall.begin(), overall.end());
+  EXPECT_LT(*mx - *mn, 0.15);
+}
+
+TEST(Integration, LowerGazeTriggerRateReducesGazeLoad) {
+  HarnessOptions opt;
+  opt.dynamic_trials = 10;
+  Harness h(hw::make_accelerator('B', 4096), opt);
+  const auto low = h.run_scenario(workload::with_cascade_probability(
+      scenario_by_name("VR Gaming"), TaskId::kGE, 0.25));
+  const auto high = h.run_scenario(workload::with_cascade_probability(
+      scenario_by_name("VR Gaming"), TaskId::kGE, 1.0));
+  const auto low_ge = low.score.find(TaskId::kGE);
+  const auto high_ge = high.score.find(TaskId::kGE);
+  ASSERT_NE(low_ge, nullptr);
+  ASSERT_NE(high_ge, nullptr);
+  // ~4x fewer GE inferences at 25% (frame counters accumulate across
+  // trials, so normalize by trial count).
+  const double low_per_trial =
+      static_cast<double>(low_ge->frames_expected) / low.trials;
+  const double high_per_trial =
+      static_cast<double>(high_ge->frames_expected) / high.trials;
+  EXPECT_LT(low_per_trial, 0.5 * high_per_trial);
+}
+
+TEST(Integration, ConfigRoundTripProducesIdenticalScores) {
+  // A Table-5 design and a Table-2 scenario serialized to INI and loaded
+  // back must benchmark identically (the appendix-D.7 customization path).
+  const auto sys = hw::make_accelerator('K', 4096);
+  const auto sys2 = hw::from_config_text(hw::to_config_text(sys));
+  const auto scenario = workload::scenario_by_name("AR Gaming");
+  const auto scenario2 =
+      workload::from_config_text(workload::to_config_text(scenario));
+  Harness h1(sys), h2(sys2);
+  const auto r1 = h1.run_once(scenario, 7);
+  const auto r2 = h2.run_once(scenario2, 7);
+  EXPECT_DOUBLE_EQ(r1.total_energy_mj, r2.total_energy_mj);
+  const auto s1 = score_scenario(r1, ScoreConfig{});
+  const auto s2 = score_scenario(r2, ScoreConfig{});
+  EXPECT_DOUBLE_EQ(s1.overall, s2.overall);
+}
+
+TEST(Integration, SchedulerPolicyIsAFirstOrderKnob) {
+  // §4.3 motivates scheduler/runtime studies. Two robust effects on this
+  // substrate: (1) the paper's default latency-greedy policy beats plain
+  // round-robin on the overloaded AR-gaming scenario; (2) the slack-aware
+  // policy protects more PlaneRCNN frames than greedy at 4K (at some cost
+  // elsewhere).
+  auto run_with = [](runtime::SchedulerKind kind, std::int64_t pes) {
+    HarnessOptions opt;
+    opt.scheduler = kind;
+    Harness h(hw::make_accelerator('J', pes), opt);
+    return h.run_scenario(scenario_by_name("AR Gaming"));
+  };
+  for (std::int64_t pes : {4096ll, 8192ll}) {
+    const auto greedy = run_with(runtime::SchedulerKind::kLatencyGreedy, pes);
+    const auto rr = run_with(runtime::SchedulerKind::kRoundRobin, pes);
+    EXPECT_GT(greedy.score.overall, rr.score.overall) << pes;
+  }
+  const auto greedy4 = run_with(runtime::SchedulerKind::kLatencyGreedy, 4096);
+  const auto slack4 = run_with(runtime::SchedulerKind::kSlackAware, 4096);
+  EXPECT_GE(slack4.score.find(TaskId::kPD)->qoe,
+            greedy4.score.find(TaskId::kPD)->qoe);
+}
+
+TEST(Integration, ParetoFrontierOfDesignsIsNontrivial) {
+  // §3.7: the breakdown scores exist to support Pareto analysis; over the
+  // FDA designs at 4K the frontier keeps at least one design and drops at
+  // least... nothing is guaranteed dropped, but dominance must be
+  // consistent.
+  std::vector<ParetoPoint> points;
+  for (char id : {'A', 'B', 'C', 'G', 'J'}) {
+    const auto out = run_design(id, 4096);
+    points.push_back(make_point(std::string(1, id), out.score));
+  }
+  const auto frontier = pareto_frontier(points);
+  EXPECT_GE(frontier.size(), 1u);
+  EXPECT_LE(frontier.size(), points.size());
+  for (std::size_t i : frontier) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      EXPECT_FALSE(dominates(points[j], points[i]));
+    }
+  }
+}
+
+TEST(Integration, AccuracyScoresAreOneWithShippedProxies) {
+  // §4.1: all models satisfy the accuracy goals, so accuracy score = 1.
+  Harness h(hw::make_accelerator('A', 8192));
+  const auto out = h.run_scenario(scenario_by_name("Social Interaction A"));
+  for (const auto& m : out.score.models) {
+    EXPECT_DOUBLE_EQ(m.accuracy, 1.0) << models::task_code(m.task);
+  }
+}
+
+}  // namespace
+}  // namespace xrbench::core

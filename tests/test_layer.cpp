@@ -1,0 +1,155 @@
+#include "costmodel/layer.h"
+
+#include <gtest/gtest.h>
+
+namespace xrbench::costmodel {
+namespace {
+
+TEST(Layer, Conv2dDims) {
+  const Layer l = conv2d("c", /*in_ch=*/16, /*out_ch=*/32, /*in_h=*/64,
+                         /*in_w=*/64, /*kernel=*/3, /*stride=*/2);
+  EXPECT_EQ(l.type, OpType::kConv2d);
+  EXPECT_EQ(l.k, 32);
+  EXPECT_EQ(l.c, 16);
+  EXPECT_EQ(l.y, 32);
+  EXPECT_EQ(l.x, 32);
+  EXPECT_EQ(l.r, 3);
+  EXPECT_EQ(l.s, 3);
+  EXPECT_TRUE(l.valid());
+}
+
+TEST(Layer, Conv2dMacsFormula) {
+  const Layer l = conv2d("c", 16, 32, 8, 8, 3, 1);
+  // K*C*Y*X*R*S = 32*16*8*8*9
+  EXPECT_EQ(l.macs(), 32ll * 16 * 8 * 8 * 9);
+}
+
+TEST(Layer, Conv2dCeilDivOnOddStride) {
+  const Layer l = conv2d("c", 3, 8, 7, 7, 3, 2);
+  EXPECT_EQ(l.y, 4);  // ceil(7/2)
+  EXPECT_EQ(l.x, 4);
+}
+
+TEST(Layer, Conv2dParamsIncludeBias) {
+  const Layer l = conv2d("c", 4, 8, 8, 8, 3, 1);
+  EXPECT_EQ(l.params(), 8ll * 4 * 9 + 8);
+}
+
+TEST(Layer, DepthwiseMacsAndParams) {
+  const Layer l = dwconv2d("dw", 32, 16, 16, 3, 1);
+  EXPECT_EQ(l.type, OpType::kDepthwiseConv2d);
+  EXPECT_EQ(l.macs(), 32ll * 16 * 16 * 9);
+  EXPECT_EQ(l.params(), 32ll * 9 + 32);
+}
+
+TEST(Layer, DeconvUpsamplesOutput) {
+  const Layer l = deconv2d("up", 64, 32, 8, 8, 3, 2);
+  EXPECT_EQ(l.y, 16);
+  EXPECT_EQ(l.x, 16);
+  EXPECT_EQ(l.type, OpType::kConv2d);
+}
+
+TEST(Layer, FullyConnectedIsDegenerateConv) {
+  const Layer l = fully_connected("fc", 512, 10);
+  EXPECT_EQ(l.macs(), 512ll * 10);
+  EXPECT_EQ(l.params(), 512ll * 10 + 10);
+  EXPECT_EQ(l.y, 1);
+  EXPECT_EQ(l.x, 1);
+}
+
+TEST(Layer, MatmulMapsToMKN) {
+  const Layer l = matmul("mm", /*m=*/11, /*kdim=*/512, /*n=*/2048);
+  EXPECT_EQ(l.macs(), 11ll * 512 * 2048);
+  EXPECT_EQ(l.k, 2048);
+  EXPECT_EQ(l.c, 512);
+  EXPECT_EQ(l.x, 11);
+}
+
+TEST(Layer, VectorOpsRequireElems) {
+  Layer l = elementwise("e", 100);
+  EXPECT_TRUE(l.valid());
+  l.elems = 0;
+  EXPECT_FALSE(l.valid());
+}
+
+TEST(Layer, LayerNormTwoPasses) {
+  const Layer l = layer_norm("ln", 16, 512);
+  EXPECT_EQ(l.macs(), 2ll * 16 * 512);
+}
+
+TEST(Layer, SoftmaxTwoPasses) {
+  const Layer l = softmax("sm", 8, 128);
+  EXPECT_EQ(l.macs(), 2ll * 8 * 128);
+}
+
+TEST(Layer, PoolCountsWindow) {
+  const Layer l = pool("p", 32, 8, 8, 2);
+  EXPECT_EQ(l.macs(), 32ll * 8 * 8 * 4);
+}
+
+TEST(Layer, RoiAlignElems) {
+  const Layer l = roi_align("roi", 100, 256, 7);
+  EXPECT_EQ(l.macs(), 100ll * 256 * 49);
+}
+
+TEST(Layer, InvalidDimsRejected) {
+  Layer l = conv2d("c", 4, 8, 8, 8, 3, 1);
+  l.k = 0;
+  EXPECT_FALSE(l.valid());
+  l = conv2d("c", 4, 8, 8, 8, 3, 1);
+  l.r = -1;
+  EXPECT_FALSE(l.valid());
+}
+
+TEST(Layer, FootprintsArePositive) {
+  const Layer l = conv2d("c", 4, 8, 16, 16, 3, 1);
+  EXPECT_GT(l.input_bytes(), 0);
+  EXPECT_GT(l.weight_bytes(), 0);
+  EXPECT_EQ(l.output_bytes(), 8ll * 16 * 16);
+}
+
+TEST(Layer, OpTypeNamesDistinct) {
+  EXPECT_STREQ(op_type_name(OpType::kConv2d), "CONV2D");
+  EXPECT_STREQ(op_type_name(OpType::kDepthwiseConv2d), "DWCONV");
+  EXPECT_STREQ(op_type_name(OpType::kMatMul), "MATMUL");
+  EXPECT_STREQ(op_type_name(OpType::kRoiAlign), "ROIALIGN");
+}
+
+TEST(Layer, VectorOpClassification) {
+  EXPECT_FALSE(is_vector_op(OpType::kConv2d));
+  EXPECT_FALSE(is_vector_op(OpType::kDepthwiseConv2d));
+  EXPECT_FALSE(is_vector_op(OpType::kFullyConnected));
+  EXPECT_FALSE(is_vector_op(OpType::kMatMul));
+  EXPECT_TRUE(is_vector_op(OpType::kPool));
+  EXPECT_TRUE(is_vector_op(OpType::kElementwise));
+  EXPECT_TRUE(is_vector_op(OpType::kLayerNorm));
+  EXPECT_TRUE(is_vector_op(OpType::kSoftmax));
+  EXPECT_TRUE(is_vector_op(OpType::kUpsample));
+  EXPECT_TRUE(is_vector_op(OpType::kRoiAlign));
+}
+
+/// Property: MACs scale linearly in each convolution dimension.
+struct ScaleCase {
+  std::int64_t in_ch, out_ch, hw, kernel;
+};
+
+class LayerScaling : public ::testing::TestWithParam<ScaleCase> {};
+
+TEST_P(LayerScaling, MacsScaleLinearly) {
+  const auto p = GetParam();
+  const Layer base = conv2d("b", p.in_ch, p.out_ch, p.hw, p.hw, p.kernel, 1);
+  const Layer dbl_ch = conv2d("d", p.in_ch * 2, p.out_ch, p.hw, p.hw,
+                              p.kernel, 1);
+  const Layer dbl_out = conv2d("d", p.in_ch, p.out_ch * 2, p.hw, p.hw,
+                               p.kernel, 1);
+  EXPECT_EQ(dbl_ch.macs(), 2 * base.macs());
+  EXPECT_EQ(dbl_out.macs(), 2 * base.macs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayerScaling,
+    ::testing::Values(ScaleCase{4, 8, 16, 3}, ScaleCase{16, 16, 32, 1},
+                      ScaleCase{3, 64, 112, 7}, ScaleCase{64, 128, 8, 5}));
+
+}  // namespace
+}  // namespace xrbench::costmodel

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace xrbench::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_threshold(); }
+  void TearDown() override { set_log_threshold(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, ThresholdRoundTrips) {
+  set_log_threshold(LogLevel::kDebug);
+  EXPECT_EQ(log_threshold(), LogLevel::kDebug);
+  set_log_threshold(LogLevel::kError);
+  EXPECT_EQ(log_threshold(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, BelowThresholdEmitsNothing) {
+  set_log_threshold(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  Log(LogLevel::kInfo) << "should not appear";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty());
+}
+
+TEST_F(LoggingTest, AtOrAboveThresholdEmits) {
+  set_log_threshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  Log(LogLevel::kWarn) << "visible " << 42;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("visible 42"), std::string::npos);
+  EXPECT_NE(err.find("WARN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xrbench::util

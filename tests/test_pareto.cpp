@@ -1,0 +1,121 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace xrbench::core {
+namespace {
+
+ParetoPoint pt(std::string label, std::vector<double> obj) {
+  return ParetoPoint{std::move(label), std::move(obj), false};
+}
+
+TEST(Pareto, DominanceBasics) {
+  EXPECT_TRUE(dominates(pt("a", {1, 1}), pt("b", {0, 0})));
+  EXPECT_TRUE(dominates(pt("a", {1, 0}), pt("b", {0, 0})));
+  EXPECT_FALSE(dominates(pt("a", {1, 0}), pt("b", {0, 1})));  // trade-off
+  EXPECT_FALSE(dominates(pt("a", {1, 1}), pt("b", {1, 1})));  // equal
+  EXPECT_FALSE(dominates(pt("a", {0, 0}), pt("b", {1, 1})));
+}
+
+TEST(Pareto, DimensionMismatchThrows) {
+  EXPECT_THROW(dominates(pt("a", {1}), pt("b", {1, 2})),
+               std::invalid_argument);
+}
+
+TEST(Pareto, FrontierExtractsNonDominated) {
+  std::vector<ParetoPoint> points = {
+      pt("best-rt", {0.9, 0.2}),
+      pt("best-en", {0.2, 0.9}),
+      pt("balanced", {0.6, 0.6}),
+      pt("dominated", {0.5, 0.5}),   // dominated by balanced
+      pt("terrible", {0.1, 0.1}),
+  };
+  const auto frontier = pareto_frontier(points);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_TRUE(points[3].dominated);
+  EXPECT_TRUE(points[4].dominated);
+  // Sorted by first objective descending.
+  EXPECT_EQ(points[frontier[0]].label, "best-rt");
+  EXPECT_EQ(points[frontier[1]].label, "balanced");
+  EXPECT_EQ(points[frontier[2]].label, "best-en");
+}
+
+TEST(Pareto, DuplicatesAllStayOnFrontier) {
+  std::vector<ParetoPoint> points = {pt("a", {0.5, 0.5}), pt("b", {0.5, 0.5})};
+  const auto frontier = pareto_frontier(points);
+  EXPECT_EQ(frontier.size(), 2u);
+}
+
+TEST(Pareto, SinglePointIsFrontier) {
+  std::vector<ParetoPoint> points = {pt("only", {0.1, 0.1, 0.1})};
+  EXPECT_EQ(pareto_frontier(points).size(), 1u);
+}
+
+TEST(Pareto, EmptyInput) {
+  std::vector<ParetoPoint> points;
+  EXPECT_TRUE(pareto_frontier(points).empty());
+}
+
+TEST(Pareto, MakePointFromScenarioScore) {
+  ScenarioScore sc;
+  sc.realtime = 0.7;
+  sc.energy = 0.8;
+  sc.qoe = 0.9;
+  const auto p = make_point("x", sc);
+  ASSERT_EQ(p.objectives.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.objectives[0], 0.7);
+  EXPECT_DOUBLE_EQ(p.objectives[1], 0.8);
+  EXPECT_DOUBLE_EQ(p.objectives[2], 0.9);
+}
+
+TEST(Pareto, ThreeDimensionalFrontier) {
+  // A point weak on every single axis can still be non-dominated in 3D.
+  std::vector<ParetoPoint> points = {
+      pt("rt", {1.0, 0.0, 0.0}),
+      pt("en", {0.0, 1.0, 0.0}),
+      pt("qoe", {0.0, 0.0, 1.0}),
+      pt("middle", {0.5, 0.5, 0.5}),
+  };
+  const auto frontier = pareto_frontier(points);
+  EXPECT_EQ(frontier.size(), 4u);
+}
+
+/// Property: frontier members never dominate each other; every dominated
+/// point is dominated by some frontier member.
+class ParetoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoProperty, FrontierInvariants) {
+  std::vector<ParetoPoint> points;
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) {
+    const double a = ((i * 37) % 101) / 100.0;
+    const double b = ((i * 53) % 97) / 96.0;
+    const double c = ((i * 71) % 89) / 88.0;
+    points.push_back(pt("p" + std::to_string(i), {a, b, c}));
+  }
+  const auto frontier = pareto_frontier(points);
+  for (std::size_t i : frontier) {
+    for (std::size_t j : frontier) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(points[i], points[j]));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].dominated) continue;
+    bool covered = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (!points[j].dominated && dominates(points[j], points[i])) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << points[i].label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParetoProperty,
+                         ::testing::Values(1, 5, 25, 100));
+
+}  // namespace
+}  // namespace xrbench::core

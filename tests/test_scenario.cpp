@@ -1,0 +1,159 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/input_source.h"
+
+namespace xrbench::workload {
+namespace {
+
+using models::TaskId;
+
+TEST(Scenario, SevenScenarios) {
+  EXPECT_EQ(benchmark_suite().size(), 7u);
+}
+
+TEST(Scenario, NamesMatchTable2) {
+  const std::vector<std::string> expected = {
+      "Social Interaction A", "Social Interaction B", "Outdoor Activity A",
+      "Outdoor Activity B",   "AR Assistant",         "AR Gaming",
+      "VR Gaming"};
+  const auto& suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), expected.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, expected[i]);
+  }
+}
+
+TEST(Scenario, LookupByName) {
+  EXPECT_EQ(scenario_by_name("VR Gaming").name, "VR Gaming");
+  EXPECT_THROW(scenario_by_name("Nope"), std::invalid_argument);
+}
+
+TEST(Scenario, ArAssistantHasMostModelsVrGamingFewest) {
+  // Paper §4.4 Observation 3: AR assistant 6 models, VR gaming 3.
+  std::size_t max_models = 0, min_models = 99;
+  for (const auto& s : benchmark_suite()) {
+    max_models = std::max(max_models, s.num_models());
+    min_models = std::min(min_models, s.num_models());
+  }
+  EXPECT_EQ(scenario_by_name("AR Assistant").num_models(), max_models);
+  EXPECT_EQ(max_models, 6u);
+  EXPECT_EQ(scenario_by_name("VR Gaming").num_models(), min_models);
+  EXPECT_EQ(min_models, 3u);
+}
+
+TEST(Scenario, SocialInteractionAMatchesFigure3) {
+  // Figure-3 deep dive: HT 30, ES 60, GE 60 (data dep on ES), DR 30.
+  const auto& s = scenario_by_name("Social Interaction A");
+  ASSERT_NE(s.find(TaskId::kHT), nullptr);
+  EXPECT_DOUBLE_EQ(s.find(TaskId::kHT)->target_fps, 30);
+  EXPECT_DOUBLE_EQ(s.find(TaskId::kES)->target_fps, 60);
+  EXPECT_DOUBLE_EQ(s.find(TaskId::kGE)->target_fps, 60);
+  EXPECT_DOUBLE_EQ(s.find(TaskId::kDR)->target_fps, 30);
+  EXPECT_EQ(s.find(TaskId::kGE)->dependency, DependencyType::kData);
+  EXPECT_EQ(s.find(TaskId::kGE)->depends_on, TaskId::kES);
+  EXPECT_EQ(s.find(TaskId::kPD), nullptr);  // inactive
+}
+
+TEST(Scenario, ArGamingMatchesFigure6) {
+  // Figure 6 plots exactly HT, DE, PD for AR gaming.
+  const auto& s = scenario_by_name("AR Gaming");
+  EXPECT_EQ(s.num_models(), 3u);
+  EXPECT_DOUBLE_EQ(s.find(TaskId::kHT)->target_fps, 45);
+  EXPECT_DOUBLE_EQ(s.find(TaskId::kDE)->target_fps, 30);
+  EXPECT_DOUBLE_EQ(s.find(TaskId::kPD)->target_fps, 30);
+}
+
+TEST(Scenario, SpeechPipelineIsControlDependent) {
+  const auto& s = scenario_by_name("Outdoor Activity A");
+  const auto* sr = s.find(TaskId::kSR);
+  ASSERT_NE(sr, nullptr);
+  EXPECT_EQ(sr->dependency, DependencyType::kControl);
+  EXPECT_EQ(sr->depends_on, TaskId::kKD);
+  EXPECT_DOUBLE_EQ(sr->trigger_probability, 0.2);  // §4.1 outdoor prob
+  const auto* sr_assist = scenario_by_name("AR Assistant").find(TaskId::kSR);
+  EXPECT_DOUBLE_EQ(sr_assist->trigger_probability, 0.5);  // §4.1 assistant
+}
+
+TEST(Scenario, TargetRatesNeverExceedSensorRates) {
+  for (const auto& s : benchmark_suite()) {
+    for (const auto& m : s.models) {
+      const auto& src = input_source(driving_source(m.task));
+      EXPECT_LE(m.target_fps, src.fps)
+          << s.name << " " << models::task_code(m.task);
+      EXPECT_GT(m.target_fps, 0.0);
+    }
+  }
+}
+
+TEST(Scenario, DependenciesPointAtActiveModels) {
+  for (const auto& s : benchmark_suite()) {
+    for (const auto& m : s.models) {
+      if (m.depends_on) {
+        EXPECT_NE(s.find(*m.depends_on), nullptr)
+            << s.name << ": " << models::task_code(m.task)
+            << " depends on an inactive model";
+        EXPECT_NE(m.dependency, DependencyType::kNone);
+      } else {
+        EXPECT_EQ(m.dependency, DependencyType::kNone);
+      }
+    }
+  }
+}
+
+TEST(Scenario, DynamicDetection) {
+  EXPECT_TRUE(is_dynamic_scenario(scenario_by_name("Outdoor Activity A")));
+  EXPECT_TRUE(is_dynamic_scenario(scenario_by_name("AR Assistant")));
+  EXPECT_FALSE(is_dynamic_scenario(scenario_by_name("Social Interaction A")));
+  EXPECT_FALSE(is_dynamic_scenario(scenario_by_name("VR Gaming")));
+}
+
+TEST(Scenario, CascadeProbabilityOverride) {
+  const auto base = scenario_by_name("VR Gaming");
+  const auto swept = with_cascade_probability(base, TaskId::kGE, 0.25);
+  EXPECT_DOUBLE_EQ(swept.find(TaskId::kGE)->trigger_probability, 0.25);
+  EXPECT_EQ(swept.find(TaskId::kGE)->dependency, DependencyType::kControl);
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(base.find(TaskId::kGE)->trigger_probability, 1.0);
+  // Now the swept copy is dynamic.
+  EXPECT_TRUE(is_dynamic_scenario(swept));
+}
+
+TEST(Scenario, CascadeOverrideValidation) {
+  const auto& base = scenario_by_name("VR Gaming");
+  EXPECT_THROW(with_cascade_probability(base, TaskId::kGE, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(with_cascade_probability(base, TaskId::kHT, 0.5),
+               std::invalid_argument);  // HT has no dependency
+}
+
+TEST(Scenario, DependencyTypeNames) {
+  EXPECT_STREQ(dependency_type_name(DependencyType::kNone), "none");
+  EXPECT_STREQ(dependency_type_name(DependencyType::kData), "data");
+  EXPECT_STREQ(dependency_type_name(DependencyType::kControl), "control");
+}
+
+/// Property over the whole suite: every scenario is well-formed.
+class SuiteProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteProperty, WellFormed) {
+  const auto& s = benchmark_suite()[GetParam()];
+  EXPECT_FALSE(s.name.empty());
+  EXPECT_FALSE(s.description.empty());
+  EXPECT_GE(s.num_models(), 3u);
+  EXPECT_LE(s.num_models(), 7u);
+  // No duplicate tasks.
+  std::set<TaskId> seen;
+  for (const auto& m : s.models) {
+    EXPECT_TRUE(seen.insert(m.task).second) << s.name;
+    EXPECT_GE(m.trigger_probability, 0.0);
+    EXPECT_LE(m.trigger_probability, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, SuiteProperty,
+                         ::testing::Range<std::size_t>(0, 7));
+
+}  // namespace
+}  // namespace xrbench::workload

@@ -1,0 +1,147 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace xrbench::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(Percentiles, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.percentile(50), 0.0);
+}
+
+TEST(Percentiles, MedianOfOddCount) {
+  Percentiles p;
+  for (double v : {5.0, 1.0, 3.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(Percentiles, InterpolatedQuartiles) {
+  Percentiles p;
+  for (int i = 1; i <= 5; ++i) p.add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(p.percentile(25), 2.0);
+}
+
+TEST(Percentiles, ClampsOutOfRangeP) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.percentile(-10), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(300), 2.0);
+}
+
+TEST(Percentiles, AddAfterQueryStillSorted) {
+  Percentiles p;
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.median(), 10.0);
+  p.add(0.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 0.0);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(GeomeanOf, Basics) {
+  EXPECT_EQ(geomean_of({}), 0.0);
+  EXPECT_EQ(geomean_of({1.0, 0.0}), 0.0);
+  EXPECT_NEAR(geomean_of({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean_of({3.0, 3.0, 3.0}), 3.0, 1e-12);
+}
+
+/// Property: variance is never negative and mean stays within [min, max],
+/// across assorted data shapes.
+class StatsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsProperty, Invariants) {
+  RunningStats s;
+  const int shape = GetParam();
+  for (int i = 0; i < 1000; ++i) {
+    double v = 0;
+    switch (shape) {
+      case 0: v = i; break;
+      case 1: v = -i * 0.5; break;
+      case 2: v = std::sin(i * 0.1) * 1e6; break;
+      case 3: v = (i % 2) ? 1e-9 : 1e9; break;
+      default: v = 42.0; break;
+    }
+    s.add(v);
+  }
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_LE(s.min(), s.mean());
+  EXPECT_GE(s.max(), s.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, StatsProperty, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace xrbench::util

@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace xrbench::util {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyColumns) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsWidthMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter t({"col", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("+-"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinter, ColumnsPadToWidestCell) {
+  TablePrinter t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string s = t.to_string();
+  // Header line must be as wide as the widest row.
+  const auto first_nl = s.find('\n');
+  const auto second_nl = s.find('\n', first_nl + 1);
+  const auto third_nl = s.find('\n', second_nl + 1);
+  const auto header_len = second_nl - first_nl;
+  const auto row_len = third_nl - second_nl;
+  EXPECT_EQ(header_len, row_len);
+}
+
+TEST(TablePrinter, EmptyTableStillRenders) {
+  TablePrinter t({"a"});
+  const std::string s = t.to_string();
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(FmtDouble, FixedDecimals) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 3), "1.000");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(FmtPercent, Formats) {
+  EXPECT_EQ(fmt_percent(0.471), "47.1%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace xrbench::util

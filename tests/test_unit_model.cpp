@@ -1,0 +1,81 @@
+#include "workload/unit_model.h"
+
+#include <gtest/gtest.h>
+
+namespace xrbench::workload {
+namespace {
+
+using models::TaskId;
+
+TEST(UnitModel, ElevenSpecs) {
+  EXPECT_EQ(all_unit_model_specs().size(), models::kNumTasks);
+}
+
+TEST(UnitModel, EveryTaskHasASpec) {
+  for (TaskId t : models::all_tasks()) {
+    const auto& spec = unit_model_spec(t);
+    EXPECT_EQ(spec.task, t);
+    EXPECT_FALSE(spec.dataset.empty());
+    EXPECT_FALSE(spec.inputs.empty());
+    EXPECT_FALSE(spec.quality.metric.empty());
+    EXPECT_GT(spec.quality.target, 0.0);
+  }
+}
+
+TEST(UnitModel, Table1QualityTargets) {
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kHT).quality.target, 0.948);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kES).quality.target, 90.54);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kGE).quality.target, 3.39);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kKD).quality.target, 85.60);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kSR).quality.target, 8.79);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kSS).quality.target, 77.54);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kOD).quality.target, 21.84);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kAS).quality.target, 60.8);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kDE).quality.target, 22.9);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kDR).quality.target, 85.5);
+  EXPECT_DOUBLE_EQ(unit_model_spec(TaskId::kPD).quality.target, 0.37);
+}
+
+TEST(UnitModel, HibLibDirections) {
+  // GE (angular error), SR (WER) and DE (delta error) are lower-is-better.
+  EXPECT_FALSE(unit_model_spec(TaskId::kGE).quality.higher_is_better);
+  EXPECT_FALSE(unit_model_spec(TaskId::kSR).quality.higher_is_better);
+  EXPECT_FALSE(unit_model_spec(TaskId::kDE).quality.higher_is_better);
+  EXPECT_TRUE(unit_model_spec(TaskId::kHT).quality.higher_is_better);
+  EXPECT_TRUE(unit_model_spec(TaskId::kSS).quality.higher_is_better);
+}
+
+TEST(UnitModel, ReferenceModelsMeetTheirGoals) {
+  // The shipped proxies satisfy Table-1 requirements (accuracy score 1).
+  for (const auto& spec : all_unit_model_specs()) {
+    if (spec.quality.higher_is_better) {
+      EXPECT_GE(spec.quality.measured, spec.quality.target)
+          << models::task_code(spec.task);
+    } else {
+      EXPECT_LE(spec.quality.measured, spec.quality.target)
+          << models::task_code(spec.task);
+    }
+  }
+}
+
+TEST(UnitModel, InputModalities) {
+  // Audio tasks use the microphone; DR is the multi-modal camera+lidar
+  // model (Table 3).
+  EXPECT_EQ(unit_model_spec(TaskId::kKD).inputs,
+            std::vector<InputSourceId>{InputSourceId::kMicrophone});
+  EXPECT_EQ(unit_model_spec(TaskId::kSR).inputs,
+            std::vector<InputSourceId>{InputSourceId::kMicrophone});
+  const auto& dr = unit_model_spec(TaskId::kDR).inputs;
+  ASSERT_EQ(dr.size(), 2u);
+  EXPECT_EQ(dr[0], InputSourceId::kCamera);
+  EXPECT_EQ(dr[1], InputSourceId::kLidar);
+}
+
+TEST(UnitModel, DrivingSourceIsFirstInput) {
+  EXPECT_EQ(driving_source(TaskId::kDR), InputSourceId::kCamera);
+  EXPECT_EQ(driving_source(TaskId::kSR), InputSourceId::kMicrophone);
+  EXPECT_EQ(driving_source(TaskId::kHT), InputSourceId::kCamera);
+}
+
+}  // namespace
+}  // namespace xrbench::workload
