@@ -7,12 +7,15 @@
 #include <iostream>
 
 #include "core/harness.h"
+#include "util/bench_json.h"
 #include "util/csv.h"
 #include "util/table.h"
 
 using namespace xrbench;
 
 int main() {
+  util::BenchJson bench("ablation_dvfs");
+  std::int64_t total_runs = 0;
   util::CsvWriter csv("bench_output/ablation_dvfs.csv");
   csv.header({"scenario", "clock_ghz", "realtime", "energy", "qoe",
               "overall", "drop_rate"});
@@ -30,6 +33,7 @@ int main() {
       core::Harness harness(hw::make_accelerator('J', chip));
       const auto out =
           harness.run_scenario(workload::scenario_by_name(scenario_name));
+      total_runs += out.trials;
       table.add_row({util::fmt_double(clock, 1),
                      util::fmt_double(out.score.realtime),
                      util::fmt_double(out.score.energy),
@@ -50,5 +54,6 @@ int main() {
                "the overall score peaks where deadlines are just met "
                "(appendix B.1's DVFS remark).\n"
             << "CSV written to bench_output/ablation_dvfs.csv\n";
+  bench.set_runs(total_runs);
   return 0;
 }

@@ -6,12 +6,15 @@
 #include <iostream>
 
 #include "core/harness.h"
+#include "util/bench_json.h"
 #include "util/csv.h"
 #include "util/table.h"
 
 using namespace xrbench;
 
 int main() {
+  util::BenchJson bench("ablation_scheduler");
+  std::int64_t total_runs = 0;
   const runtime::SchedulerKind kinds[] = {
       runtime::SchedulerKind::kLatencyGreedy,
       runtime::SchedulerKind::kRoundRobin,
@@ -35,6 +38,7 @@ int main() {
         core::Harness harness(hw::make_accelerator('J', pes), opt);
         const auto out =
             harness.run_scenario(workload::scenario_by_name(scenario_name));
+        total_runs += out.trials;
         table.add_row({runtime::scheduler_kind_name(kind),
                        util::fmt_double(out.score.realtime),
                        util::fmt_double(out.score.energy),
@@ -54,5 +58,6 @@ int main() {
     }
   }
   std::cout << "CSV written to bench_output/ablation_scheduler.csv\n";
+  bench.set_runs(total_runs);
   return 0;
 }

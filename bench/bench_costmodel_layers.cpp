@@ -9,12 +9,15 @@
 
 #include "costmodel/cost_model.h"
 #include "models/zoo.h"
+#include "util/bench_json.h"
 #include "util/csv.h"
 #include "util/table.h"
 
 using namespace xrbench;
 
 int main() {
+  util::BenchJson bench("costmodel_layers");
+  std::int64_t total_runs = 0;
   costmodel::AnalyticalCostModel cm;
   util::CsvWriter csv("bench_output/costmodel_layers.csv");
   csv.header({"model", "dataflow", "layer", "op", "macs", "compute_cycles",
@@ -34,6 +37,7 @@ int main() {
       accel.dataflow = df;
       accel.num_pes = 4096;
       const auto mc = cm.model_cost(graph, accel);
+      ++total_runs;  // one full model evaluation
       double compute_bound = 0, noc_bound = 0, dram_bound = 0;
       for (std::size_t i = 0; i < mc.layers.size(); ++i) {
         const auto& lc = mc.layers[i];
@@ -67,5 +71,6 @@ int main() {
   std::cout << "=== Per-model cost breakdown on a 4K-PE array ===\n\n";
   summary.print(std::cout);
   std::cout << "\nPer-layer CSV written to bench_output/costmodel_layers.csv\n";
+  bench.set_runs(total_runs);
   return 0;
 }

@@ -3,11 +3,16 @@
 // analysis"). Objectives: real-time, energy, and QoE scores (all
 // higher-is-better); one analysis per chip size over the benchmark-level
 // averages, plus a per-scenario frontier for the most contested scenario.
+//
+// All 26 (design x chip size) points are evaluated by the parallel
+// SweepEngine; results are bit-identical to a serial run (set
+// XRBENCH_THREADS=0 for the single-thread baseline).
 
 #include <iostream>
 
-#include "core/harness.h"
 #include "core/pareto.h"
+#include "core/sweep.h"
+#include "util/bench_json.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -40,22 +45,44 @@ void report(const std::string& title, std::vector<core::ParetoPoint> points,
 }  // namespace
 
 int main() {
+  util::BenchJson bench("pareto");
   core::HarnessOptions opt;
   opt.dynamic_trials = 10;
   util::CsvWriter csv("bench_output/pareto_frontier.csv");
   csv.header({"analysis", "design", "realtime", "energy", "qoe",
               "on_frontier"});
 
+  // One sweep point per (design, chip size); the engine fans the
+  // config x scenario x trial grid out across workers.
+  std::vector<core::SweepPoint> points;
+  for (std::int64_t pes : {4096ll, 8192ll}) {
+    for (char id : hw::accelerator_ids()) {
+      points.push_back({std::string(1, id) + "@" + std::to_string(pes),
+                        hw::make_accelerator(id, pes), opt});
+    }
+  }
+
+  core::SweepEngine engine;
+  std::cout << "Evaluating " << points.size() << " design points on "
+            << engine.num_threads() << " worker threads...\n\n";
+  const auto outcomes = engine.run_suite_points(points);
+
+  std::int64_t total_runs = 0;
+  for (const auto& out : outcomes) {
+    for (const auto& s : out.scenarios) total_runs += s.trials;
+  }
+
+  std::size_t idx = 0;
   for (std::int64_t pes : {4096ll, 8192ll}) {
     std::vector<core::ParetoPoint> avg_points;
     std::vector<core::ParetoPoint> ar_points;
     for (char id : hw::accelerator_ids()) {
-      core::Harness harness(hw::make_accelerator(id, pes), opt);
-      const auto out = harness.run_suite();
-      const std::string label =
-          std::string(1, id) + "@" + std::to_string(pes);
-      avg_points.push_back(core::make_point(label, out.score));
-      ar_points.push_back(core::make_point(label, out.scenarios[5].score));
+      (void)id;
+      const auto& out = outcomes[idx];
+      avg_points.push_back(core::make_point(points[idx].label, out.score));
+      ar_points.push_back(
+          core::make_point(points[idx].label, out.scenarios[5].score));
+      ++idx;
     }
     report("Benchmark-average frontier, " + std::to_string(pes) + " PEs",
            std::move(avg_points), csv, "avg_" + std::to_string(pes));
@@ -63,5 +90,8 @@ int main() {
            std::move(ar_points), csv, "ar_gaming_" + std::to_string(pes));
   }
   std::cout << "CSV written to bench_output/pareto_frontier.csv\n";
+  bench.set_runs(total_runs);
+  bench.add_metric("worker_threads",
+                   static_cast<double>(engine.num_threads()));
   return 0;
 }

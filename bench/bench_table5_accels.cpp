@@ -1,17 +1,24 @@
 // Regenerates paper Table 5 (accelerator styles A-M) and reports the
 // per-sub-accelerator resource split plus per-model execution latencies of
 // the analytical cost model (the data behind the scheduling results).
+//
+// The 26 cost tables (13 designs x 2 chip sizes) are built in parallel by
+// the SweepEngine; the shared cost model's LayerCost memo means identical
+// sub-accelerator partitions across designs are evaluated only once.
 
 #include <iostream>
 
+#include "core/sweep.h"
 #include "hw/accelerator.h"
 #include "runtime/cost_table.h"
+#include "util/bench_json.h"
 #include "util/csv.h"
 #include "util/table.h"
 
 using namespace xrbench;
 
 int main() {
+  util::BenchJson bench("table5_accels");
   std::cout << "=== Table 5: Accelerator styles ===\n\n";
   util::TablePrinter table(
       {"Acc. ID", "Acc. Style", "Dataflow", "Sub-accels", "PEs per sub-accel"});
@@ -28,9 +35,11 @@ int main() {
   table.print(std::cout);
 
   costmodel::AnalyticalCostModel cm;
+  core::SweepEngine engine;
   util::CsvWriter csv("bench_output/table5_latencies.csv");
   csv.header({"accelerator", "total_pes", "sub_accel", "dataflow", "task",
               "latency_ms", "energy_mj", "utilization"});
+  std::int64_t tables_built = 0;
   for (std::int64_t pes : {4096ll, 8192ll}) {
     std::cout << "\n=== Per-model latency (ms) on each sub-accelerator, "
               << pes << " PEs ===\n\n";
@@ -39,15 +48,17 @@ int main() {
       cols.push_back(models::task_code(t));
     }
     util::TablePrinter lat(cols);
-    for (char id : hw::accelerator_ids()) {
-      const auto sys = hw::make_accelerator(id, pes);
-      const runtime::CostTable costs(sys, cm);
+    const auto systems = hw::all_accelerators(pes);
+    const auto costs = engine.build_cost_tables(systems, cm);
+    tables_built += static_cast<std::int64_t>(costs.size());
+    for (std::size_t si = 0; si < systems.size(); ++si) {
+      const auto& sys = systems[si];
       for (std::size_t sa = 0; sa < sys.sub_accels.size(); ++sa) {
         std::vector<std::string> row = {
             sys.id, std::to_string(sa),
             costmodel::dataflow_name(sys.sub_accels[sa].dataflow)};
         for (models::TaskId t : models::all_tasks()) {
-          const auto& c = costs.cost(t, sa);
+          const auto& c = costs[si]->cost(t, sa);
           row.push_back(util::fmt_double(c.latency_ms, 1));
           csv.row({sys.id, util::CsvWriter::cell(pes),
                    util::CsvWriter::cell(sa),
@@ -62,5 +73,11 @@ int main() {
     lat.print(std::cout);
   }
   std::cout << "\nCSV written to bench_output/table5_latencies.csv\n";
+  std::cout << "Cost-model memo entries after the sweep: " << cm.memo_size()
+            << "\n";
+  bench.set_runs(tables_built);
+  bench.add_metric("memo_entries", static_cast<double>(cm.memo_size()));
+  bench.add_metric("worker_threads",
+                   static_cast<double>(engine.num_threads()));
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects the BENCH_<name>.json emitters into
+# one place. Usage:
+#   bench/run_all.sh [build-dir]          (default: ./build)
+# Environment:
+#   XRBENCH_THREADS  worker count for the SweepEngine benches
+#                    (0 = serial baseline; unset = hardware concurrency)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "build dir '$BUILD_DIR' not found; run: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+cd "$BUILD_DIR"
+mkdir -p bench_output
+shopt -s nullglob
+benches=(bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "no bench_* binaries in $BUILD_DIR" >&2
+  exit 1
+fi
+
+for b in "${benches[@]}"; do
+  [[ -x $b && ! -d $b ]] || continue
+  if [[ $b == bench_microbench ]]; then
+    # google-benchmark harness: bounded repetitions, own output format
+    echo "== $b"
+    ./"$b" --benchmark_min_time=0.05 || echo "($b failed)" >&2
+    continue
+  fi
+  echo "== $b"
+  start_ns=$(date +%s%N)
+  ./"$b" > "bench_output/${b}.log" 2>&1 || { echo "($b failed, see bench_output/${b}.log)" >&2; continue; }
+  end_ns=$(date +%s%N)
+  echo "   $(( (end_ns - start_ns) / 1000000 )) ms  (log: bench_output/${b}.log)"
+done
+
+echo
+echo "== JSON perf records:"
+ls -1 bench_output/BENCH_*.json

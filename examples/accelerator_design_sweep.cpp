@@ -3,29 +3,31 @@
 // presets, and rank them by XRBench SCORE per joule — the kind of co-design
 // loop the paper motivates (§4.4 Observation 1: "XR systems need to be
 // co-designed with usage scenarios").
+//
+// The candidate grid is evaluated by the parallel SweepEngine (results are
+// bit-identical to a serial run; set XRBENCH_THREADS to pin the worker
+// count).
 
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
-#include "core/harness.h"
+#include "core/sweep.h"
 #include "util/table.h"
 
 using namespace xrbench;
 
 int main() {
-  struct Candidate {
-    std::string label;
-    hw::ChipResources chip;
-    char design;
-  };
-  std::vector<Candidate> candidates;
+  core::HarnessOptions opt;
+  opt.dynamic_trials = 10;
+
+  std::vector<core::SweepPoint> points;
   for (std::int64_t pes : {2048ll, 4096ll, 8192ll}) {
     for (char design : {'A', 'D', 'J', 'M'}) {
       hw::ChipResources chip;
       chip.total_pes = pes;
-      candidates.push_back(
-          {std::string(1, design) + "@" + std::to_string(pes), chip, design});
+      points.push_back({std::string(1, design) + "@" + std::to_string(pes),
+                        hw::make_accelerator(design, chip), opt});
     }
   }
   // One bandwidth-starved variant: same PEs, half the off-chip bandwidth.
@@ -33,26 +35,28 @@ int main() {
     hw::ChipResources chip;
     chip.total_pes = 8192;
     chip.offchip_gbps /= 2.0;
-    candidates.push_back({"J@8192/half-DRAM", chip, 'J'});
+    points.push_back(
+        {"J@8192/half-DRAM", hw::make_accelerator('J', chip), opt});
   }
+
+  core::SweepEngine engine;
+  std::cout << "Sweeping " << points.size() << " candidate designs on "
+            << engine.num_threads() << " worker threads...\n\n";
+  const auto outcomes = engine.run_suite_points(points);
 
   util::TablePrinter table({"Design", "XRBench SCORE", "Realtime", "QoE",
                             "Avg energy/scenario (mJ)", "Score per joule"});
-  core::HarnessOptions opt;
-  opt.dynamic_trials = 10;
-
   struct Row {
     std::string label;
     double score, rt, qoe, energy, per_joule;
   };
   std::vector<Row> rows;
-  for (const auto& cand : candidates) {
-    core::Harness harness(hw::make_accelerator(cand.design, cand.chip), opt);
-    const auto out = harness.run_suite();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& out = outcomes[i];
     double energy = 0.0;
     for (const auto& s : out.scenarios) energy += s.score.total_energy_mj;
     energy /= static_cast<double>(out.scenarios.size());
-    rows.push_back({cand.label, out.score.overall, out.score.realtime,
+    rows.push_back({points[i].label, out.score.overall, out.score.realtime,
                     out.score.qoe, energy,
                     out.score.overall / (energy / 1000.0)});
   }

@@ -1,0 +1,184 @@
+#include "core/sweep.h"
+
+#include <utility>
+
+namespace xrbench::core {
+
+namespace {
+
+bool same_energy(const costmodel::EnergyParams& a,
+                 const costmodel::EnergyParams& b) {
+  return a.mac_pj == b.mac_pj && a.sram_pj_per_byte == b.sram_pj_per_byte &&
+         a.noc_pj_per_byte == b.noc_pj_per_byte &&
+         a.dram_pj_per_byte == b.dram_pj_per_byte &&
+         a.static_mw_per_pe == b.static_mw_per_pe;
+}
+
+int trials_for(const workload::UsageScenario& scenario,
+               const HarnessOptions& options) {
+  return workload::is_dynamic_scenario(scenario)
+             ? std::max(1, options.dynamic_trials)
+             : 1;
+}
+
+/// Per-(point, scenario) accumulation slots; every trial job writes only
+/// its own pre-sized slot, so no synchronization beyond the pool's queue is
+/// needed and reduction order equals submission order.
+struct ScenarioWork {
+  int trials = 1;
+  std::vector<ScenarioScore> trial_scores;
+  runtime::ScenarioRunResult last_run;
+};
+
+/// One trial: fresh scheduler, shared read-only cost table, deterministic
+/// seed = base seed + trial index. Identical to Harness::run_once.
+void run_trial(const hw::AcceleratorSystem& system,
+               const runtime::CostTable& table,
+               const workload::UsageScenario& scenario,
+               const HarnessOptions& options, int trial, ScenarioWork& work) {
+  runtime::RunConfig cfg = options.run;
+  cfg.seed += static_cast<std::uint64_t>(trial);
+  auto scheduler = runtime::make_scheduler(options.scheduler);
+  scheduler->reset();
+  const runtime::ScenarioRunner runner(system, table);
+  auto run = runner.run(scenario, *scheduler, cfg);
+  work.trial_scores[static_cast<std::size_t>(trial)] =
+      score_scenario(run, options.score);
+  if (trial == work.trials - 1) work.last_run = std::move(run);
+}
+
+ScenarioOutcome assemble(ScenarioWork&& work) {
+  ScenarioOutcome outcome;
+  outcome.score = average_scores(work.trial_scores);
+  outcome.last_run = std::move(work.last_run);
+  outcome.trials = work.trials;
+  return outcome;
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(std::size_t num_threads) : pool_(num_threads) {}
+
+SweepEngine::~SweepEngine() = default;
+
+costmodel::AnalyticalCostModel& SweepEngine::model_for(
+    const costmodel::EnergyParams& energy) {
+  std::unique_lock lock(models_mutex_);
+  for (auto& [params, model] : models_) {
+    if (same_energy(params, energy)) return *model;
+  }
+  models_.emplace_back(
+      energy, std::make_unique<costmodel::AnalyticalCostModel>(energy));
+  return *models_.back().second;
+}
+
+std::vector<BenchmarkOutcome> SweepEngine::run_suite_points(
+    const std::vector<SweepPoint>& points) {
+  // Touch lazily-initialized registries on this thread first; worker
+  // threads then only read them.
+  const auto& suite = workload::benchmark_suite();
+
+  struct PointWork {
+    std::unique_ptr<runtime::CostTable> table;
+    std::vector<ScenarioWork> scenarios;
+  };
+  std::vector<PointWork> work(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    work[p].scenarios.resize(suite.size());
+    for (std::size_t s = 0; s < suite.size(); ++s) {
+      auto& sw = work[p].scenarios[s];
+      sw.trials = trials_for(suite[s], points[p].options);
+      sw.trial_scores.resize(static_cast<std::size_t>(sw.trials));
+    }
+  }
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    // One table-build job per point; it fans the point's trial jobs out as
+    // soon as its cost table exists, so table builds and trials overlap
+    // across points.
+    pool_.submit([this, &points, &work, &suite, p] {
+      const SweepPoint& point = points[p];
+      auto& pw = work[p];
+      pw.table = std::make_unique<runtime::CostTable>(
+          point.system, model_for(point.options.energy));
+      for (std::size_t s = 0; s < suite.size(); ++s) {
+        for (int t = 0; t < pw.scenarios[s].trials; ++t) {
+          pool_.submit([&points, &work, &suite, p, s, t] {
+            run_trial(points[p].system, *work[p].table, suite[s],
+                      points[p].options, t, work[p].scenarios[s]);
+          });
+        }
+      }
+    });
+  }
+  pool_.wait_idle();
+
+  std::vector<BenchmarkOutcome> outcomes;
+  outcomes.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    BenchmarkOutcome out;
+    out.accelerator_id = points[p].system.id;
+    out.total_pes = points[p].system.total_pes();
+    std::vector<ScenarioScore> scores;
+    scores.reserve(suite.size());
+    for (auto& sw : work[p].scenarios) {
+      auto outcome = assemble(std::move(sw));
+      scores.push_back(outcome.score);
+      out.scenarios.push_back(std::move(outcome));
+    }
+    out.score = combine_scenarios(std::move(scores));
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+std::vector<ScenarioOutcome> SweepEngine::run_scenario_points(
+    const std::vector<ScenarioSweepPoint>& points) {
+  struct PointWork {
+    std::unique_ptr<runtime::CostTable> table;
+    ScenarioWork scenario;
+  };
+  std::vector<PointWork> work(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    auto& sw = work[p].scenario;
+    sw.trials = trials_for(points[p].scenario, points[p].options);
+    sw.trial_scores.resize(static_cast<std::size_t>(sw.trials));
+  }
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    pool_.submit([this, &points, &work, p] {
+      const ScenarioSweepPoint& point = points[p];
+      auto& pw = work[p];
+      pw.table = std::make_unique<runtime::CostTable>(
+          point.system, model_for(point.options.energy));
+      for (int t = 0; t < pw.scenario.trials; ++t) {
+        pool_.submit([&points, &work, p, t] {
+          run_trial(points[p].system, *work[p].table, points[p].scenario,
+                    points[p].options, t, work[p].scenario);
+        });
+      }
+    });
+  }
+  pool_.wait_idle();
+
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.reserve(points.size());
+  for (auto& pw : work) outcomes.push_back(assemble(std::move(pw.scenario)));
+  return outcomes;
+}
+
+std::vector<std::unique_ptr<runtime::CostTable>> SweepEngine::build_cost_tables(
+    const std::vector<hw::AcceleratorSystem>& systems,
+    const costmodel::AnalyticalCostModel& cost_model) {
+  std::vector<std::unique_ptr<runtime::CostTable>> tables(systems.size());
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    pool_.submit([&systems, &cost_model, &tables, i] {
+      tables[i] =
+          std::make_unique<runtime::CostTable>(systems[i], cost_model);
+    });
+  }
+  pool_.wait_idle();
+  return tables;
+}
+
+}  // namespace xrbench::core

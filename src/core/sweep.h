@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "util/thread_pool.h"
+
+namespace xrbench::core {
+
+/// One design point of a sweep: an accelerator system plus harness options,
+/// benchmarked against the full Table-2 suite.
+struct SweepPoint {
+  std::string label;
+  hw::AcceleratorSystem system;
+  HarnessOptions options;
+};
+
+/// One (design, scenario) point: a single scenario benchmarked on one
+/// accelerator system (the Figure-7 cascade sweep shape).
+struct ScenarioSweepPoint {
+  std::string label;
+  hw::AcceleratorSystem system;
+  HarnessOptions options;
+  workload::UsageScenario scenario;
+};
+
+/// Parallel evaluation engine for accelerator/scenario sweeps.
+///
+/// Fans (config x scenario x trial) evaluation jobs out over a worker pool:
+/// each design point gets one CostTable build job, then every trial of
+/// every scenario becomes an independent job with its own ScenarioRunner,
+/// scheduler instance and deterministic per-trial seed (options.run.seed +
+/// trial). Results land in pre-sized slots indexed by submission order and
+/// are reduced in that same order, so the output is bit-identical to a
+/// serial run of the Harness — the worker count only changes wall-clock
+/// time, never a score.
+///
+/// Thread count: pass the worker count explicitly, or use the default
+/// constructor for "auto" (XRBENCH_THREADS env var when set, else hardware
+/// concurrency). A count of 0 runs every job inline on the calling thread
+/// (the serial baseline).
+class SweepEngine {
+ public:
+  SweepEngine() : SweepEngine(util::ThreadPool::default_num_threads()) {}
+  explicit SweepEngine(std::size_t num_threads);
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  std::size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Benchmarks every point against the full Table-2 suite. Equivalent to
+  /// (but parallel across points, scenarios and trials):
+  ///   for (p : points) Harness(p.system, p.options).run_suite()
+  std::vector<BenchmarkOutcome> run_suite_points(
+      const std::vector<SweepPoint>& points);
+
+  /// Benchmarks each (system, scenario) pair. Equivalent to:
+  ///   for (p : points) Harness(p.system, p.options).run_scenario(p.scenario)
+  std::vector<ScenarioOutcome> run_scenario_points(
+      const std::vector<ScenarioSweepPoint>& points);
+
+  /// Builds one CostTable per system in parallel (bench_table5-style
+  /// cost-model sweeps). All builds share `cost_model` and therefore its
+  /// LayerCost memo — identical sub-accelerator partitions across designs
+  /// are evaluated once.
+  std::vector<std::unique_ptr<runtime::CostTable>> build_cost_tables(
+      const std::vector<hw::AcceleratorSystem>& systems,
+      const costmodel::AnalyticalCostModel& cost_model);
+
+ private:
+  /// Shared cost model for a point's energy constants. Points with equal
+  /// EnergyParams share one model instance (and so its LayerCost memo),
+  /// which is what makes PE-count sweeps stop recomputing identical layers.
+  costmodel::AnalyticalCostModel& model_for(
+      const costmodel::EnergyParams& energy);
+
+  util::ThreadPool pool_;
+  std::vector<std::pair<costmodel::EnergyParams,
+                        std::unique_ptr<costmodel::AnalyticalCostModel>>>
+      models_;
+  std::mutex models_mutex_;
+};
+
+}  // namespace xrbench::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 namespace xrbench::costmodel {
@@ -11,6 +13,17 @@ double ceil_div(double a, double b) { return std::ceil(a / b); }
 
 std::int64_t bounded(std::int64_t dim, std::int64_t budget) {
   return std::max<std::int64_t>(1, std::min(dim, budget));
+}
+
+std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+std::size_t hash_double(double d) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d), "double must be 64-bit");
+  std::memcpy(&bits, &d, sizeof(bits));
+  return static_cast<std::size_t>(bits);
 }
 
 }  // namespace
@@ -35,6 +48,77 @@ Dataflow parse_dataflow(const std::string& s) {
 
 AnalyticalCostModel::AnalyticalCostModel(EnergyParams energy)
     : energy_(energy) {}
+
+AnalyticalCostModel::AnalyticalCostModel(const AnalyticalCostModel& other)
+    : energy_(other.energy_) {}
+
+AnalyticalCostModel& AnalyticalCostModel::operator=(
+    const AnalyticalCostModel& other) {
+  if (this != &other) {
+    energy_ = other.energy_;
+    clear_memo();
+  }
+  return *this;
+}
+
+bool AnalyticalCostModel::LayerCostKey::operator==(
+    const LayerCostKey& o) const {
+  return op_type == o.op_type && k == o.k && c == o.c && y == o.y &&
+         x == o.x && r == o.r && s == o.s && elems == o.elems &&
+         dataflow == o.dataflow && num_pes == o.num_pes &&
+         sram_bytes == o.sram_bytes && clock_ghz == o.clock_ghz &&
+         noc_bytes_per_cycle == o.noc_bytes_per_cycle &&
+         offchip_bytes_per_cycle == o.offchip_bytes_per_cycle;
+}
+
+std::size_t AnalyticalCostModel::LayerCostKeyHash::operator()(
+    const LayerCostKey& key) const {
+  std::size_t h = static_cast<std::size_t>(key.op_type);
+  h = hash_combine(h, static_cast<std::size_t>(key.k));
+  h = hash_combine(h, static_cast<std::size_t>(key.c));
+  h = hash_combine(h, static_cast<std::size_t>(key.y));
+  h = hash_combine(h, static_cast<std::size_t>(key.x));
+  h = hash_combine(h, static_cast<std::size_t>(key.r));
+  h = hash_combine(h, static_cast<std::size_t>(key.s));
+  h = hash_combine(h, static_cast<std::size_t>(key.elems));
+  h = hash_combine(h, static_cast<std::size_t>(key.dataflow));
+  h = hash_combine(h, static_cast<std::size_t>(key.num_pes));
+  h = hash_combine(h, static_cast<std::size_t>(key.sram_bytes));
+  h = hash_combine(h, hash_double(key.clock_ghz));
+  h = hash_combine(h, hash_double(key.noc_bytes_per_cycle));
+  h = hash_combine(h, hash_double(key.offchip_bytes_per_cycle));
+  return h;
+}
+
+AnalyticalCostModel::LayerCostKey AnalyticalCostModel::make_key(
+    const Layer& layer, const SubAccelConfig& accel) {
+  LayerCostKey key;
+  key.op_type = static_cast<int>(layer.type);
+  key.k = layer.k;
+  key.c = layer.c;
+  key.y = layer.y;
+  key.x = layer.x;
+  key.r = layer.r;
+  key.s = layer.s;
+  key.elems = layer.elems;
+  key.dataflow = static_cast<int>(accel.dataflow);
+  key.num_pes = accel.num_pes;
+  key.sram_bytes = accel.sram_bytes;
+  key.clock_ghz = accel.clock_ghz;
+  key.noc_bytes_per_cycle = accel.noc_bytes_per_cycle;
+  key.offchip_bytes_per_cycle = accel.offchip_bytes_per_cycle;
+  return key;
+}
+
+std::size_t AnalyticalCostModel::memo_size() const {
+  std::shared_lock lock(memo_mutex_);
+  return memo_.size();
+}
+
+void AnalyticalCostModel::clear_memo() const {
+  std::unique_lock lock(memo_mutex_);
+  memo_.clear();
+}
 
 SpatialMapping AnalyticalCostModel::spatial_mapping(
     const Layer& layer, Dataflow dataflow, std::int64_t num_pes) const {
@@ -115,8 +199,7 @@ LayerCost AnalyticalCostModel::mac_layer_cost(
                 ceil_div(static_cast<double>(layer.x),
                          static_cast<double>(m.p2)) *
                 static_cast<double>(layer.y) *
-                static_cast<double>(layer.r) * static_cast<double>(layer.s) *
-                (dw ? static_cast<double>(1) : 1.0);
+                static_cast<double>(layer.r) * static_cast<double>(layer.s);
       // Weights loaded once and pinned; inputs multicast across the K lane;
       // partial sums spill once per input-channel tile beyond the first.
       const double c_tiles = ceil_div(cdim, static_cast<double>(m.p1));
@@ -179,8 +262,11 @@ LayerCost AnalyticalCostModel::mac_layer_cost(
       std::max({cost.compute_cycles, cost.noc_cycles, cost.dram_cycles}) +
       kLayerOverheadCycles;
   cost.latency_ms = cost.total_cycles / (accel.clock_ghz * 1e6);
-  cost.utilization =
-      macs / (cost.total_cycles * static_cast<double>(accel.num_pes));
+  // Utilization is a fraction of the array's MAC capacity by definition;
+  // clamp against rounding slack in the cycle model.
+  cost.utilization = std::min(
+      1.0, std::max(0.0, macs / (cost.total_cycles *
+                                 static_cast<double>(accel.num_pes))));
 
   const double pj = macs * energy_.mac_pj +
                     cost.sram_traffic_bytes *
@@ -241,6 +327,12 @@ double AnalyticalCostModel::dram_traffic(const Layer& layer,
   return std::min(by_weight_tiles, by_input_tiles);
 }
 
+LayerCost AnalyticalCostModel::compute_layer_cost(
+    const Layer& layer, const SubAccelConfig& accel) const {
+  return is_vector_op(layer.type) ? vector_layer_cost(layer, accel)
+                                  : mac_layer_cost(layer, accel);
+}
+
 LayerCost AnalyticalCostModel::layer_cost(const Layer& layer,
                                           const SubAccelConfig& accel) const {
   if (!layer.valid()) {
@@ -251,8 +343,20 @@ LayerCost AnalyticalCostModel::layer_cost(const Layer& layer,
     throw std::invalid_argument("layer_cost: invalid accelerator config '" +
                                 accel.id + "'");
   }
-  return is_vector_op(layer.type) ? vector_layer_cost(layer, accel)
-                                  : mac_layer_cost(layer, accel);
+  const LayerCostKey key = make_key(layer, accel);
+  {
+    std::shared_lock lock(memo_mutex_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  // Compute outside the lock: a concurrent duplicate computation is cheaper
+  // than serializing every miss behind a unique lock.
+  LayerCost cost = compute_layer_cost(layer, accel);
+  {
+    std::unique_lock lock(memo_mutex_);
+    memo_.emplace(key, cost);
+  }
+  return cost;
 }
 
 ModelCost AnalyticalCostModel::model_cost(const ModelGraph& graph,

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "costmodel/dataflow.h"
@@ -74,6 +77,10 @@ class AnalyticalCostModel {
  public:
   explicit AnalyticalCostModel(EnergyParams energy = {});
 
+  /// Copying shares the energy constants but starts a fresh memo cache.
+  AnalyticalCostModel(const AnalyticalCostModel& other);
+  AnalyticalCostModel& operator=(const AnalyticalCostModel& other);
+
   /// Greedy spatial unrolling of `layer` under `dataflow` over `num_pes`.
   /// Exposed for tests/ablations. MAC ops only (vector ops have no mapping).
   SpatialMapping spatial_mapping(const Layer& layer, Dataflow dataflow,
@@ -92,7 +99,31 @@ class AnalyticalCostModel {
   /// Vector ops run on the PE array as SIMD lanes at reduced efficiency.
   static constexpr double kVectorOpEfficiency = 0.25;
 
+  /// Entries in the (layer signature, sub-accel config) memo. Sweeps over
+  /// PE counts / designs re-evaluate many identical layers (the same conv
+  /// shapes recur across the model zoo, and different Table-5 designs share
+  /// identical sub-accelerator partitions); the memo makes those hits free.
+  std::size_t memo_size() const;
+  void clear_memo() const;
+
  private:
+  /// Memo key: everything layer_cost() depends on other than the energy
+  /// constants (fixed per model instance). Layer names are deliberately
+  /// excluded — two layers with identical dims and type cost the same.
+  struct LayerCostKey {
+    int op_type;
+    std::int64_t k, c, y, x, r, s, elems;
+    int dataflow;
+    std::int64_t num_pes, sram_bytes;
+    double clock_ghz, noc_bytes_per_cycle, offchip_bytes_per_cycle;
+    bool operator==(const LayerCostKey& o) const;
+  };
+  struct LayerCostKeyHash {
+    std::size_t operator()(const LayerCostKey& key) const;
+  };
+
+  static LayerCostKey make_key(const Layer& layer,
+                               const SubAccelConfig& accel);
   LayerCost mac_layer_cost(const Layer& layer,
                            const SubAccelConfig& accel) const;
   LayerCost vector_layer_cost(const Layer& layer,
@@ -102,7 +133,15 @@ class AnalyticalCostModel {
   /// re-streaming inputs per weight tile or weights per input tile).
   double dram_traffic(const Layer& layer, const SubAccelConfig& accel) const;
 
+  LayerCost compute_layer_cost(const Layer& layer,
+                               const SubAccelConfig& accel) const;
+
   EnergyParams energy_;
+  /// Thread-safe LayerCost memo: concurrent CostTable builds inside a sweep
+  /// share one model instance; lookups take a shared lock, inserts a unique
+  /// one (a rare duplicate computation on a race is harmless).
+  mutable std::unordered_map<LayerCostKey, LayerCost, LayerCostKeyHash> memo_;
+  mutable std::shared_mutex memo_mutex_;
 };
 
 }  // namespace xrbench::costmodel

@@ -34,7 +34,9 @@ struct Design {
 };
 
 Design design_for(char id) {
-  using enum Dataflow;
+  constexpr Dataflow kWS = Dataflow::kWS;
+  constexpr Dataflow kOS = Dataflow::kOS;
+  constexpr Dataflow kRS = Dataflow::kRS;
   switch (id) {
     // FDA: single instance.
     case 'A': return {AccelStyle::kFDA, "WS", {{kWS, 1}}};

@@ -1,11 +1,10 @@
 #include "runtime/scenario_runner.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -42,23 +41,6 @@ ScenarioRunner::ScenarioRunner(const hw::AcceleratorSystem& system,
 
 namespace {
 
-/// Mutable state of one scenario run; owned by run() so the runner itself
-/// stays const / reusable.
-struct RunState {
-  sim::Simulator sim;
-  util::Rng rng;
-  std::vector<InferenceRequest> pending;
-  std::vector<bool> accel_busy;
-  std::vector<double> accel_busy_ms;
-  std::vector<BusyInterval> timeline;
-  std::unordered_map<std::size_t, ModelRunStats> stats;  // by task index
-  // Downstream edges: task index -> scenario models it triggers.
-  std::unordered_map<std::size_t, std::vector<const ScenarioModel*>> fanout;
-  // Per-inference system-baseline energy share by task index (mJ).
-  std::unordered_map<std::size_t, double> baseline_mj;
-  double total_energy_mj = 0.0;
-};
-
 /// Sensor frame consumed for model-rate frame index f (Figure-3 skipping:
 /// a 30 FPS model on a 60 FPS camera uses every other frame).
 std::int64_t sensor_frame_for(double sensor_fps, double model_fps,
@@ -73,6 +55,145 @@ double deadline_ms(const InputSource& src, double model_fps, std::int64_t f) {
   const std::int64_t next = sensor_frame_for(src.fps, model_fps, f + 1);
   return workload::ideal_arrival_ms(src, next);
 }
+
+/// Mutable state + dispatch machinery of one scenario run; owned by run()
+/// so the runner itself stays const / reusable. All per-model state lives
+/// in flat vectors indexed by the model's slot in the scenario (looked up
+/// through a dense task->slot table), and the pending queue uses
+/// swap-remove, so the simulation hot path performs no hashing and no
+/// mid-vector erases.
+struct RunEngine {
+  const CostTable& costs;
+  Scheduler& scheduler;
+
+  sim::Simulator sim;
+  util::Rng rng;
+  std::vector<InferenceRequest> pending;
+  std::vector<char> accel_busy;
+  std::vector<double> accel_busy_ms;
+  std::vector<BusyInterval> timeline;
+  // Per-model state, indexed by scenario slot.
+  std::vector<ModelRunStats> stats;
+  std::vector<std::vector<const ScenarioModel*>> fanout;
+  std::vector<double> baseline_mj;  ///< Per-inference baseline share (mJ).
+  std::array<int, models::kNumTasks> slot_of{};  // task index -> slot or -1
+  std::vector<std::size_t> idle_scratch;
+  double total_energy_mj = 0.0;
+
+  RunEngine(const CostTable& c, Scheduler& s) : costs(c), scheduler(s) {
+    slot_of.fill(-1);
+  }
+
+  std::size_t slot(models::TaskId task) const {
+    return static_cast<std::size_t>(slot_of[models::task_index(task)]);
+  }
+
+  /// Drops every pending request whose deadline has passed without a start.
+  /// Swap-remove: pending order is not preserved (see the Scheduler
+  /// contract in scheduler.h).
+  void drop_stale(double now) {
+    std::size_t i = 0;
+    while (i < pending.size()) {
+      if (pending[i].tdl_ms <= now) {
+        auto& ms = stats[slot(pending[i].task)];
+        InferenceRecord rec;
+        rec.task = pending[i].task;
+        rec.frame = pending[i].frame;
+        rec.treq_ms = pending[i].treq_ms;
+        rec.tdl_ms = pending[i].tdl_ms;
+        rec.dropped = true;
+        ms.records.push_back(rec);
+        ++ms.frames_dropped;
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void on_complete(const InferenceRequest& req, std::size_t sa,
+                   double start_ms) {
+    const double now = sim.now();
+    accel_busy[sa] = 0;
+    accel_busy_ms[sa] += now - start_ms;
+
+    const std::size_t sl = slot(req.task);
+    auto& ms = stats[sl];
+    InferenceRecord rec;
+    rec.task = req.task;
+    rec.frame = req.frame;
+    rec.treq_ms = req.treq_ms;
+    rec.tdl_ms = req.tdl_ms;
+    rec.sub_accel = static_cast<int>(sa);
+    rec.dispatch_ms = start_ms;
+    rec.complete_ms = now;
+    rec.energy_mj = costs.energy_mj(req.task, sa) + baseline_mj[sl];
+    total_energy_mj += rec.energy_mj;
+    ++ms.frames_executed;
+    if (rec.missed_deadline()) ++ms.deadline_misses;
+    ms.records.push_back(rec);
+    timeline.push_back(
+        BusyInterval{static_cast<int>(sa), req.task, req.frame, start_ms, now});
+
+    // Trigger dependent models (dependency tracker).
+    for (const ScenarioModel* down : fanout[sl]) {
+      const bool fire = rng.bernoulli(down->trigger_probability);
+      auto& dms = stats[slot(down->task)];
+      if (down->dependency == DependencyType::kControl) {
+        // QoE denominator counts only triggered requests for
+        // control-dependent models.
+        if (fire) ++dms.frames_expected;
+      }
+      if (!fire) continue;
+      const auto& src =
+          workload::input_source(workload::driving_source(down->task));
+      InferenceRequest dreq;
+      dreq.task = down->task;
+      dreq.frame = req.frame;
+      dreq.treq_ms = now;  // input = upstream output, ready now
+      dreq.tdl_ms = deadline_ms(src, down->target_fps, req.frame);
+      dreq.from_upstream = true;
+      pending.push_back(dreq);
+    }
+    try_dispatch();
+  }
+
+  void try_dispatch() {
+    drop_stale(sim.now());
+    while (true) {
+      auto& idle = idle_scratch;
+      idle.clear();
+      for (std::size_t sa = 0; sa < accel_busy.size(); ++sa) {
+        if (accel_busy[sa] == 0) idle.push_back(sa);
+      }
+      if (idle.empty() || pending.empty()) return;
+      SchedulerContext ctx;
+      ctx.now_ms = sim.now();
+      ctx.pending = &pending;
+      ctx.idle_sub_accels = &idle;
+      ctx.costs = &costs;
+      const auto choice = scheduler.pick(ctx);
+      if (!choice) return;
+      if (choice->request_index >= pending.size() ||
+          choice->sub_accel >= accel_busy.size() ||
+          accel_busy[choice->sub_accel] != 0) {
+        throw std::logic_error("Scheduler returned an invalid assignment");
+      }
+      const InferenceRequest req = pending[choice->request_index];
+      pending[choice->request_index] = pending.back();
+      pending.pop_back();
+      const std::size_t sa = choice->sub_accel;
+      accel_busy[sa] = 1;
+      const double start = sim.now();
+      const double latency = costs.latency_ms(req.task, sa);
+      RunEngine* self = this;
+      sim.schedule_after(latency, [self, req, sa, start] {
+        self->on_complete(req, sa, start);
+      });
+    }
+  }
+};
 
 }  // namespace
 
@@ -97,139 +218,56 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
     }
   }
 
-  RunState st;
-  st.rng.reseed(config.seed);
-  st.accel_busy.assign(system_->sub_accels.size(), false);
-  st.accel_busy_ms.assign(system_->sub_accels.size(), 0.0);
+  RunEngine eng(*costs_, scheduler);
+  eng.rng.reseed(config.seed);
+  eng.accel_busy.assign(system_->sub_accels.size(), 0);
+  eng.accel_busy_ms.assign(system_->sub_accels.size(), 0.0);
+  eng.idle_scratch.reserve(system_->sub_accels.size());
 
-  for (const auto& sm : scenario.models) {
-    ModelRunStats ms;
-    ms.task = sm.task;
-    ms.target_fps = sm.target_fps;
-    st.stats.emplace(models::task_index(sm.task), std::move(ms));
+  const std::size_t num_models = scenario.models.size();
+  eng.stats.resize(num_models);
+  eng.fanout.resize(num_models);
+  eng.baseline_mj.resize(num_models);
+  std::int64_t total_expected = 0;
+  for (std::size_t sl = 0; sl < num_models; ++sl) {
+    const auto& sm = scenario.models[sl];
+    eng.slot_of[models::task_index(sm.task)] = static_cast<int>(sl);
+    eng.stats[sl].task = sm.task;
+    eng.stats[sl].target_fps = sm.target_fps;
     // mW-free form: W * ms = mJ; the frame window is 1000/FPS ms.
-    st.baseline_mj.emplace(models::task_index(sm.task),
-                           config.system_baseline_w * 1000.0 / sm.target_fps);
-    if (sm.depends_on) {
-      st.fanout[models::task_index(*sm.depends_on)].push_back(&sm);
-    }
+    eng.baseline_mj[sl] = config.system_baseline_w * 1000.0 / sm.target_fps;
   }
-
-  // ---- Dispatch machinery ---------------------------------------------
-
-  // Drops every pending request whose deadline has passed without a start.
-  auto drop_stale = [&st](double now) {
-    auto it = st.pending.begin();
-    while (it != st.pending.end()) {
-      if (it->tdl_ms <= now) {
-        auto& ms = st.stats.at(models::task_index(it->task));
-        InferenceRecord rec;
-        rec.task = it->task;
-        rec.frame = it->frame;
-        rec.treq_ms = it->treq_ms;
-        rec.tdl_ms = it->tdl_ms;
-        rec.dropped = true;
-        ms.records.push_back(rec);
-        ++ms.frames_dropped;
-        it = st.pending.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
-  // Forward declarations via std::function are avoided by structuring the
-  // callbacks around the simulator: completion events re-enter dispatch.
-  std::function<void()> try_dispatch;
-
-  auto on_complete = [this, &st, &try_dispatch](InferenceRequest req,
-                                                std::size_t sa,
-                                                double start_ms) {
-    const double now = st.sim.now();
-    st.accel_busy[sa] = false;
-    st.accel_busy_ms[sa] += now - start_ms;
-
-    auto& ms = st.stats.at(models::task_index(req.task));
-    InferenceRecord rec;
-    rec.task = req.task;
-    rec.frame = req.frame;
-    rec.treq_ms = req.treq_ms;
-    rec.tdl_ms = req.tdl_ms;
-    rec.sub_accel = static_cast<int>(sa);
-    rec.dispatch_ms = start_ms;
-    rec.complete_ms = now;
-    rec.energy_mj = costs_->energy_mj(req.task, sa) +
-                    st.baseline_mj.at(models::task_index(req.task));
-    st.total_energy_mj += rec.energy_mj;
-    ++ms.frames_executed;
-    if (rec.missed_deadline()) ++ms.deadline_misses;
-    ms.records.push_back(rec);
-    st.timeline.push_back(
-        BusyInterval{static_cast<int>(sa), req.task, req.frame, start_ms, now});
-
-    // Trigger dependent models (dependency tracker).
-    auto fan = st.fanout.find(models::task_index(req.task));
-    if (fan != st.fanout.end()) {
-      for (const ScenarioModel* down : fan->second) {
-        const bool fire = st.rng.bernoulli(down->trigger_probability);
-        auto& dms = st.stats.at(models::task_index(down->task));
-        if (down->dependency == DependencyType::kControl) {
-          // QoE denominator counts only triggered requests for
-          // control-dependent models.
-          if (fire) ++dms.frames_expected;
-        }
-        if (!fire) continue;
-        const auto& src =
-            workload::input_source(workload::driving_source(down->task));
-        InferenceRequest dreq;
-        dreq.task = down->task;
-        dreq.frame = req.frame;
-        dreq.treq_ms = now;  // input = upstream output, ready now
-        dreq.tdl_ms = deadline_ms(src, down->target_fps, req.frame);
-        dreq.from_upstream = true;
-        st.pending.push_back(dreq);
-      }
-    }
-    try_dispatch();
-  };
-
-  try_dispatch = [this, &st, &scheduler, &drop_stale, &on_complete]() {
-    drop_stale(st.sim.now());
-    while (true) {
-      std::vector<std::size_t> idle;
-      for (std::size_t sa = 0; sa < st.accel_busy.size(); ++sa) {
-        if (!st.accel_busy[sa]) idle.push_back(sa);
-      }
-      if (idle.empty() || st.pending.empty()) return;
-      SchedulerContext ctx;
-      ctx.now_ms = st.sim.now();
-      ctx.pending = &st.pending;
-      ctx.idle_sub_accels = &idle;
-      ctx.costs = costs_;
-      const auto choice = scheduler.pick(ctx);
-      if (!choice) return;
-      if (choice->request_index >= st.pending.size() ||
-          choice->sub_accel >= st.accel_busy.size() ||
-          st.accel_busy[choice->sub_accel]) {
-        throw std::logic_error("Scheduler returned an invalid assignment");
-      }
-      const InferenceRequest req = st.pending[choice->request_index];
-      st.pending.erase(st.pending.begin() +
-                       static_cast<std::ptrdiff_t>(choice->request_index));
-      const std::size_t sa = choice->sub_accel;
-      st.accel_busy[sa] = true;
-      const double start = st.sim.now();
-      const double latency = costs_->latency_ms(req.task, sa);
-      st.sim.schedule_after(latency, [req, sa, start, &on_complete] {
-        on_complete(req, sa, start);
-      });
-    }
-  };
+  for (const auto& sm : scenario.models) {
+    if (!sm.depends_on) continue;
+    // An upstream task absent from the scenario can never complete, so the
+    // dependent model is simply never triggered (matching the behavior of
+    // the former map-keyed fanout; its QoE denominator still counts for
+    // data dependencies).
+    const int up = eng.slot_of[models::task_index(*sm.depends_on)];
+    if (up >= 0) eng.fanout[static_cast<std::size_t>(up)].push_back(&sm);
+  }
+  // Reserve record/timeline storage up front: each model sees at most its
+  // frame budget (plus upstream-triggered requests bounded by the same
+  // rate), so the hot loop never reallocates.
+  for (std::size_t sl = 0; sl < num_models; ++sl) {
+    const auto& sm = scenario.models[sl];
+    const auto budget = static_cast<std::int64_t>(
+        std::llround(sm.target_fps * config.duration_ms / 1000.0));
+    eng.stats[sl].records.reserve(static_cast<std::size_t>(budget) + 8);
+    total_expected += budget;
+  }
+  eng.timeline.reserve(static_cast<std::size_t>(total_expected) + 8);
+  eng.pending.reserve(static_cast<std::size_t>(total_expected) + 8);
+  // Every generator frame is scheduled before the run starts, so the event
+  // pool's high-water mark is ~total_expected (arrivals) plus in-flight
+  // completions (bounded by the sub-accelerator count).
+  eng.sim.reserve(static_cast<std::size_t>(total_expected) +
+                  system_->sub_accels.size() + 8);
 
   // ---- Load generation (Figure 2's load generator) ---------------------
 
   for (const auto& sm : scenario.models) {
-    auto& ms = st.stats.at(models::task_index(sm.task));
+    auto& ms = eng.stats[eng.slot(sm.task)];
     if (sm.depends_on) {
       if (sm.dependency == DependencyType::kData) {
         // Data-dependent: one request expected per upstream target frame.
@@ -243,6 +281,7 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
     const auto num_frames = static_cast<std::int64_t>(
         std::llround(sm.target_fps * config.duration_ms / 1000.0));
     ms.frames_expected = num_frames;
+    RunEngine* self = &eng;
     for (std::int64_t f = 0; f < num_frames; ++f) {
       // Multi-modal models wait for the latest of their input streams.
       double treq = 0.0;
@@ -257,30 +296,30 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
       req.frame = f;
       req.treq_ms = treq;
       req.tdl_ms = deadline_ms(driver, sm.target_fps, f);
-      st.sim.schedule_at(treq, [req, &st, &try_dispatch] {
-        st.pending.push_back(req);
-        try_dispatch();
+      eng.sim.schedule_at(treq, [self, req] {
+        self->pending.push_back(req);
+        self->try_dispatch();
       });
     }
   }
 
-  st.sim.run();
+  eng.sim.run();
   // Anything still pending after the event queue drained can never start.
-  drop_stale(std::numeric_limits<double>::infinity());
+  eng.drop_stale(std::numeric_limits<double>::infinity());
 
   // ---- Result assembly --------------------------------------------------
   ScenarioRunResult result;
   result.scenario_name = scenario.name;
   result.duration_ms = config.duration_ms;
-  result.total_energy_mj = st.total_energy_mj;
-  result.sub_accel_busy_ms = st.accel_busy_ms;
-  result.timeline = std::move(st.timeline);
+  result.total_energy_mj = eng.total_energy_mj;
+  result.sub_accel_busy_ms = std::move(eng.accel_busy_ms);
+  result.timeline = std::move(eng.timeline);
   std::sort(result.timeline.begin(), result.timeline.end(),
             [](const BusyInterval& a, const BusyInterval& b) {
               return a.start_ms < b.start_ms;
             });
-  for (const auto& sm : scenario.models) {
-    auto& ms = st.stats.at(models::task_index(sm.task));
+  result.per_model.reserve(num_models);
+  for (auto& ms : eng.stats) {
     std::sort(ms.records.begin(), ms.records.end(),
               [](const InferenceRecord& a, const InferenceRecord& b) {
                 return a.frame < b.frame;

@@ -11,7 +11,20 @@ bool context_ready(const SchedulerContext& ctx) {
          !ctx.idle_sub_accels->empty();
 }
 
-/// Idle sub-accelerator minimizing expected latency for `task`.
+/// Canonical order-independent tie-break: earlier deadline, then earlier
+/// request time, then lower frame, then lower task index. Returns true when
+/// `a` should win over `b`. The pending vector is swap-remove-compacted
+/// (see SchedulerContext), so every policy must resolve ties through this
+/// instead of relying on element order.
+bool precedes(const InferenceRequest& a, const InferenceRequest& b) {
+  if (a.tdl_ms != b.tdl_ms) return a.tdl_ms < b.tdl_ms;
+  if (a.treq_ms != b.treq_ms) return a.treq_ms < b.treq_ms;
+  if (a.frame != b.frame) return a.frame < b.frame;
+  return models::task_index(a.task) < models::task_index(b.task);
+}
+
+/// Idle sub-accelerator minimizing expected latency for `task` (lowest
+/// index wins ties; the idle list is always sorted ascending).
 std::size_t best_idle_for(const SchedulerContext& ctx, models::TaskId task) {
   const auto& idle = *ctx.idle_sub_accels;
   std::size_t best = idle.front();
@@ -23,6 +36,16 @@ std::size_t best_idle_for(const SchedulerContext& ctx, models::TaskId task) {
   return best;
 }
 
+/// Index of the pending request with the earliest deadline (canonical
+/// tie-break).
+std::size_t earliest_deadline(const std::vector<InferenceRequest>& pending) {
+  std::size_t earliest = 0;
+  for (std::size_t ri = 1; ri < pending.size(); ++ri) {
+    if (precedes(pending[ri], pending[earliest])) earliest = ri;
+  }
+  return earliest;
+}
+
 }  // namespace
 
 std::optional<Assignment> LatencyGreedyScheduler::pick(
@@ -31,12 +54,16 @@ std::optional<Assignment> LatencyGreedyScheduler::pick(
   const auto& pending = *ctx.pending;
   double best_latency = std::numeric_limits<double>::infinity();
   Assignment best{};
+  bool have = false;
   for (std::size_t ri = 0; ri < pending.size(); ++ri) {
     for (std::size_t sa : *ctx.idle_sub_accels) {
       const double lat = ctx.costs->latency_ms(pending[ri].task, sa);
-      if (lat < best_latency) {
+      if (lat < best_latency ||
+          (lat == best_latency && have &&
+           precedes(pending[ri], pending[best.request_index]))) {
         best_latency = lat;
         best = Assignment{ri, sa};
+        have = true;
       }
     }
   }
@@ -68,10 +95,7 @@ std::optional<Assignment> RoundRobinScheduler::pick(
 std::optional<Assignment> EdfScheduler::pick(const SchedulerContext& ctx) {
   if (!context_ready(ctx)) return std::nullopt;
   const auto& pending = *ctx.pending;
-  std::size_t earliest = 0;
-  for (std::size_t ri = 1; ri < pending.size(); ++ri) {
-    if (pending[ri].tdl_ms < pending[earliest].tdl_ms) earliest = ri;
-  }
+  const std::size_t earliest = earliest_deadline(pending);
   return Assignment{earliest, best_idle_for(ctx, pending[earliest].task)};
 }
 
@@ -87,15 +111,9 @@ std::optional<Assignment> SlackAwareScheduler::pick(
     const double finish =
         ctx.now_ms + ctx.costs->latency_ms(pending[ri].task, sa);
     if (finish > pending[ri].tdl_ms) continue;  // already doomed
-    if (!best || pending[ri].tdl_ms < pending[*best].tdl_ms) best = ri;
+    if (!best || precedes(pending[ri], pending[*best])) best = ri;
   }
-  if (!best) {
-    std::size_t earliest = 0;
-    for (std::size_t ri = 1; ri < pending.size(); ++ri) {
-      if (pending[ri].tdl_ms < pending[earliest].tdl_ms) earliest = ri;
-    }
-    best = earliest;
-  }
+  if (!best) best = earliest_deadline(pending);
   return Assignment{*best, best_idle_for(ctx, pending[*best].task)};
 }
 

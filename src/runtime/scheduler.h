@@ -16,6 +16,13 @@ struct SchedulerContext {
   double now_ms = 0.0;
   /// Requests currently waiting (input ready, not yet started, deadline not
   /// passed). Indices into this vector identify the choice.
+  ///
+  /// Contract note: the dispatcher compacts this vector with swap-remove,
+  /// so element ORDER carries no meaning (it is NOT arrival order). Policies
+  /// must derive their decision from request attributes only (task, frame,
+  /// treq, tdl) and break ties on those attributes so the decision is
+  /// invariant under any permutation of `pending` — this is what keeps
+  /// parallel sweep results bit-identical to serial runs.
   const std::vector<InferenceRequest>* pending = nullptr;
   /// Indices of currently idle sub-accelerators.
   const std::vector<std::size_t>* idle_sub_accels = nullptr;

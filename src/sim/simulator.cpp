@@ -4,11 +4,38 @@
 
 namespace xrbench::sim {
 
+std::uint32_t Simulator::alloc_slot() {
+  std::uint32_t slot;
+  if (free_head_ != kNil) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Node& n = pool_[slot];
+  ++n.generation;  // stale ids/entries from the previous tenant now mismatch
+  n.live = true;
+  n.next_free = kNil;
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Node& n = pool_[slot];
+  n.cb.reset();
+  n.live = false;
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventId Simulator::schedule_at(TimeMs when, Callback cb) {
-  const EventId id = next_id_++;
-  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(cb)});
+  const std::uint32_t slot = alloc_slot();
+  Node& n = pool_[slot];
+  n.cb = std::move(cb);
+  queue_.push(QueueEntry{std::max(when, now_), next_seq_++, slot,
+                         n.generation});
   ++live_events_;
-  return id;
+  return (static_cast<EventId>(n.generation) << 32) | slot;
 }
 
 EventId Simulator::schedule_after(TimeMs delay, Callback cb) {
@@ -16,31 +43,34 @@ EventId Simulator::schedule_after(TimeMs delay, Callback cb) {
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  if (is_cancelled(id)) return false;
-  // We cannot remove from the middle of a priority_queue; mark instead.
-  // The event is discarded (not fired) when popped.
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= pool_.size()) return false;
+  Node& n = pool_[slot];
+  if (!n.live || n.generation != generation) return false;
+  release_slot(slot);  // the stale queue entry is skipped on pop
   if (live_events_ > 0) --live_events_;
   return true;
 }
 
-bool Simulator::is_cancelled(EventId id) const {
-  return cancelled_.count(id) > 0;
+void Simulator::skip_stale_top() {
+  while (!queue_.empty() && !entry_live(queue_.top())) queue_.pop();
 }
 
 bool Simulator::fire_next() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const QueueEntry e = queue_.top();
     queue_.pop();
-    if (is_cancelled(ev.id)) {
-      cancelled_.erase(ev.id);
-      continue;
-    }
-    now_ = ev.when;
+    if (!entry_live(e)) continue;
+    // Move the callback out before firing: the callback may schedule new
+    // events, growing the pool and invalidating node references; releasing
+    // first also makes a cancel() of this id during the callback a no-op.
+    EventCallback cb = std::move(pool_[e.slot].cb);
+    release_slot(e.slot);
+    now_ = e.when;
     --live_events_;
     ++fired_;
-    ev.cb();
+    cb();
     return true;
   }
   return false;
@@ -54,12 +84,8 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(TimeMs until) {
   std::size_t fired = 0;
-  while (!queue_.empty()) {
-    // Peek past cancelled events to find the next live timestamp.
-    while (!queue_.empty() && is_cancelled(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
+  while (true) {
+    skip_stale_top();
     if (queue_.empty() || queue_.top().when > until) break;
     if (fire_next()) ++fired;
   }
@@ -68,5 +94,19 @@ std::size_t Simulator::run_until(TimeMs until) {
 }
 
 bool Simulator::step() { return fire_next(); }
+
+void Simulator::reserve(std::size_t events) {
+  pool_.reserve(events);
+  // priority_queue has no reserve; rebuild its container with capacity.
+  std::vector<QueueEntry> storage;
+  storage.reserve(events);
+  while (!queue_.empty()) {
+    storage.push_back(queue_.top());
+    queue_.pop();
+  }
+  queue_ = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                               std::greater<>>(std::greater<>{},
+                                               std::move(storage));
+}
 
 }  // namespace xrbench::sim

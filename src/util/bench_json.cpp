@@ -1,0 +1,54 @@
+#include "util/bench_json.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace xrbench::util {
+
+BenchJson::BenchJson(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+BenchJson::~BenchJson() {
+  try {
+    write();
+  } catch (...) {
+    // A bench must not crash in its epilogue because the output directory
+    // is unwritable; the human-readable output already went to stdout.
+  }
+}
+
+void BenchJson::add_metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+double BenchJson::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void BenchJson::write() {
+  if (written_) return;
+  written_ = true;
+  const double wall_ms = elapsed_ms();
+  std::filesystem::create_directories("bench_output");
+  std::ofstream out("bench_output/BENCH_" + name_ + ".json");
+  out << "{\n";
+  out << "  \"name\": \"" << name_ << "\",\n";
+  out << "  \"wall_clock_ms\": " << wall_ms << ",\n";
+  out << "  \"runs\": " << runs_ << ",\n";
+  out << "  \"runs_per_sec\": "
+      << (wall_ms > 0.0 ? static_cast<double>(runs_) / (wall_ms / 1000.0)
+                        : 0.0)
+      << ",\n";
+  for (const auto& [key, value] : metrics_) {
+    out << "  \"" << key << "\": " << value << ",\n";
+  }
+  out << "  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << "\n";
+  out << "}\n";
+}
+
+}  // namespace xrbench::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xrbench::util {
+
+/// Wall-clock bench reporter: times the lifetime of the object and writes
+/// `bench_output/BENCH_<name>.json` with wall-clock ms, runs/sec and any
+/// extra metrics on destruction (or on an explicit write()). These files
+/// seed the repo's performance trajectory — bench/run_all.sh collects them.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+  ~BenchJson();
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Number of logical work units completed (scenario runs, table builds,
+  /// ...); enables the runs/sec field.
+  void set_runs(std::int64_t runs) { runs_ = runs; }
+
+  /// Extra metric recorded verbatim in the JSON.
+  void add_metric(const std::string& key, double value);
+
+  /// Elapsed wall-clock time so far in milliseconds.
+  double elapsed_ms() const;
+
+  /// Writes the JSON file now (idempotent; the destructor is then a no-op).
+  void write();
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::int64_t runs_ = 0;
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool written_ = false;
+};
+
+}  // namespace xrbench::util

@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace xrbench::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline mode: the serial baseline. Exceptions still surface via
+    // wait_idle() so callers behave identically in both modes.
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+std::size_t ThreadPool::default_num_threads() {
+  if (const char* env = std::getenv("XRBENCH_THREADS")) {
+    // Strict parse: digits only, bounded. stoul() would accept "-1" by
+    // wrapping to SIZE_MAX and ask for eighteen quintillion workers.
+    const std::string s(env);
+    constexpr std::size_t kMaxThreads = 1024;
+    if (!s.empty() && s.size() <= 4 &&
+        s.find_first_not_of("0123456789") == std::string::npos) {
+      const auto n = static_cast<std::size_t>(std::stoul(s));
+      if (n <= kMaxThreads) return n;
+    }
+    // Malformed or out of range: fall through to hardware concurrency.
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace xrbench::util

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xrbench::util {
+
+/// Fixed-size worker pool with a FIFO task queue.
+///
+/// Construction with `num_threads == 0` creates an INLINE pool: submit()
+/// runs the task immediately on the caller's thread. That mode is the
+/// serial baseline of the sweep engine — identical code path, no threads —
+/// which is what makes "parallel output is bit-identical to serial" easy to
+/// verify.
+///
+/// The first exception thrown by any task is captured and rethrown from
+/// wait_idle() (subsequent tasks still run; later exceptions are dropped).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task (runs it inline when the pool has no workers).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first task exception, if any.
+  void wait_idle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Worker count for "auto": the XRBENCH_THREADS environment variable when
+  /// set (0 allowed, meaning inline), otherwise std::thread::hardware_concurrency().
+  static std::size_t default_num_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace xrbench::util

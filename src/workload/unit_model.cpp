@@ -7,7 +7,9 @@ namespace xrbench::workload {
 using models::TaskId;
 
 const std::vector<UnitModelSpec>& all_unit_model_specs() {
-  using enum InputSourceId;
+  constexpr InputSourceId kCamera = InputSourceId::kCamera;
+  constexpr InputSourceId kLidar = InputSourceId::kLidar;
+  constexpr InputSourceId kMicrophone = InputSourceId::kMicrophone;
   // Quality requirements are 95% of the model performance (105% of error)
   // reported in the original papers (Table 1 caption). `measured` is set to
   // the original-paper value, so the shipped proxies satisfy their goals

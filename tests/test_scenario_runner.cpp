@@ -224,6 +224,32 @@ TEST_F(RunnerTest, InvalidConfigsThrow) {
   EXPECT_THROW(runner.run(bad, sched, RunConfig{}), std::invalid_argument);
 }
 
+TEST_F(RunnerTest, DependencyOnAbsentUpstreamNeverTriggers) {
+  // A custom scenario whose model depends on a task that is not part of
+  // the scenario: the dependent model can never be triggered, but the run
+  // must complete cleanly (regression for the slot-indexed fanout).
+  workload::UsageScenario scenario;
+  scenario.name = "dangling-dep";
+  workload::ScenarioModel ht;
+  ht.task = TaskId::kHT;
+  ht.target_fps = 30.0;
+  scenario.models.push_back(ht);
+  workload::ScenarioModel sr;  // depends on KD, which is absent
+  sr.task = TaskId::kSR;
+  sr.target_fps = 3.0;
+  sr.depends_on = TaskId::kKD;
+  sr.dependency = workload::DependencyType::kControl;
+  sr.trigger_probability = 1.0;
+  scenario.models.push_back(sr);
+
+  const auto r = run('A', 8192, scenario);
+  const auto* srs = r.find(TaskId::kSR);
+  ASSERT_NE(srs, nullptr);
+  EXPECT_EQ(srs->frames_expected, 0);
+  EXPECT_TRUE(srs->records.empty());
+  EXPECT_GT(r.find(TaskId::kHT)->frames_executed, 0);
+}
+
 TEST_F(RunnerTest, MismatchedCostTableThrows) {
   const auto sys_a = hw::make_accelerator('A', 4096);
   const auto sys_m = hw::make_accelerator('M', 4096);

@@ -148,6 +148,73 @@ TEST(Simulator, FiredEventsCounter) {
   EXPECT_EQ(s.fired_events(), 10u);
 }
 
+TEST(Simulator, CancelAfterPoolSlotReuseFails) {
+  // Regression for the pooled event arena: after event `a` fires, its pool
+  // slot is recycled by event `b`. A stale handle to `a` must NOT cancel
+  // `b` (EventIds are generation-tagged).
+  Simulator s;
+  bool b_fired = false;
+  const EventId a = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.step());             // `a` fires, slot returns to free list
+  s.schedule_at(2.0, [&] { b_fired = true; });  // reuses a's slot
+  EXPECT_FALSE(s.cancel(a));         // stale id must be rejected
+  s.run();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Simulator, CancelAfterCancelledSlotReuseFails) {
+  // Same regression via the cancel path: cancelling `a` frees its slot
+  // immediately; the recycled slot's new tenant must be unaffected by a
+  // second cancel with the old id.
+  Simulator s;
+  bool b_fired = false;
+  const EventId a = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(a));
+  const EventId b = s.schedule_at(2.0, [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.cancel(a));
+  s.run();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Simulator, FifoTieBreakSurvivesPoolReuse) {
+  // Equal-timestamp FIFO order must hold even when the events' pool slots
+  // were recycled in a different order than they were first allocated.
+  Simulator s;
+  std::vector<int> order;
+  // Round 1: allocate three slots, fire them (slots go to the free list in
+  // fire order, so the free list is LIFO relative to allocation).
+  for (int i = 0; i < 3; ++i) s.schedule_at(1.0, [] {});
+  s.run();
+  // Round 2: equal timestamps on recycled slots must still fire FIFO.
+  s.schedule_at(10.0, [&] { order.push_back(1); });
+  s.schedule_at(10.0, [&] { order.push_back(2); });
+  s.schedule_at(10.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, PoolHighWaterMarkIsReused) {
+  // Steady-state scheduling must recycle slots instead of growing the pool:
+  // repeated schedule/fire cycles keep the arena at its high-water mark.
+  Simulator s;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) s.schedule_after(1.0, [] {});
+    s.run();
+  }
+  EXPECT_EQ(s.pool_slots(), 4u);
+}
+
+TEST(Simulator, CancelDuringCallbackOfSameEventFails) {
+  // Once an event fires its id is dead, even from inside its own callback.
+  Simulator s;
+  EventId id = 0;
+  bool cancelled = true;
+  id = s.schedule_at(1.0, [&] { cancelled = s.cancel(id); });
+  s.run();
+  EXPECT_FALSE(cancelled);
+}
+
 /// Property: N randomly-ordered timestamps always fire sorted.
 class SimulatorOrderProperty : public ::testing::TestWithParam<int> {};
 

@@ -1,0 +1,159 @@
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace xrbench::core {
+namespace {
+
+HarnessOptions fast_options() {
+  HarnessOptions opt;
+  opt.run.duration_ms = 400.0;  // keep the test quick; shape is unchanged
+  opt.dynamic_trials = 3;
+  return opt;
+}
+
+std::vector<SweepPoint> two_points() {
+  const auto opt = fast_options();
+  return {
+      {"J@4096", hw::make_accelerator('J', 4096), opt},
+      {"A@8192", hw::make_accelerator('A', 8192), opt},
+  };
+}
+
+/// Bit-identical score comparison: exact double equality, not
+/// EXPECT_DOUBLE_EQ's 4-ULP tolerance — the sweep engine promises the very
+/// same bits as a serial run.
+void expect_identical(const BenchmarkOutcome& a, const BenchmarkOutcome& b) {
+  EXPECT_EQ(a.accelerator_id, b.accelerator_id);
+  EXPECT_EQ(a.total_pes, b.total_pes);
+  EXPECT_EQ(a.score.overall, b.score.overall);
+  EXPECT_EQ(a.score.realtime, b.score.realtime);
+  EXPECT_EQ(a.score.energy, b.score.energy);
+  EXPECT_EQ(a.score.qoe, b.score.qoe);
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+  for (std::size_t s = 0; s < a.scenarios.size(); ++s) {
+    const auto& sa = a.scenarios[s];
+    const auto& sb = b.scenarios[s];
+    EXPECT_EQ(sa.trials, sb.trials);
+    EXPECT_EQ(sa.score.overall, sb.score.overall) << "scenario " << s;
+    EXPECT_EQ(sa.score.realtime, sb.score.realtime) << "scenario " << s;
+    EXPECT_EQ(sa.score.energy, sb.score.energy) << "scenario " << s;
+    EXPECT_EQ(sa.score.qoe, sb.score.qoe) << "scenario " << s;
+    EXPECT_EQ(sa.score.total_energy_mj, sb.score.total_energy_mj)
+        << "scenario " << s;
+    EXPECT_EQ(sa.last_run.total_energy_mj, sb.last_run.total_energy_mj)
+        << "scenario " << s;
+    ASSERT_EQ(sa.last_run.timeline.size(), sb.last_run.timeline.size());
+  }
+}
+
+TEST(SweepEngine, ParallelSuiteIsBitIdenticalToSerial) {
+  const auto points = two_points();
+  SweepEngine serial(0);    // inline: no worker threads at all
+  SweepEngine parallel(4);  // oversubscribed on small machines — still exact
+  const auto a = serial.run_suite_points(points);
+  const auto b = parallel.run_suite_points(points);
+  ASSERT_EQ(a.size(), points.size());
+  ASSERT_EQ(b.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    expect_identical(a[p], b[p]);
+  }
+}
+
+TEST(SweepEngine, MatchesHarnessExactly) {
+  const auto points = two_points();
+  SweepEngine engine(4);
+  const auto outcomes = engine.run_suite_points(points);
+  ASSERT_EQ(outcomes.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const Harness harness(points[p].system, points[p].options);
+    const auto expected = harness.run_suite();
+    expect_identical(outcomes[p], expected);
+  }
+}
+
+TEST(SweepEngine, ScenarioPointsMatchHarness) {
+  const auto opt = fast_options();
+  std::vector<ScenarioSweepPoint> points;
+  for (double p : {0.25, 1.0}) {
+    points.push_back({"vr@" + std::to_string(p),
+                      hw::make_accelerator('B', 4096), opt,
+                      workload::with_cascade_probability(
+                          workload::scenario_by_name("VR Gaming"),
+                          models::TaskId::kGE, p)});
+  }
+  SweepEngine engine(4);
+  const auto outcomes = engine.run_scenario_points(points);
+  ASSERT_EQ(outcomes.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const Harness harness(points[p].system, points[p].options);
+    const auto expected = harness.run_scenario(points[p].scenario);
+    EXPECT_EQ(outcomes[p].trials, expected.trials);
+    EXPECT_EQ(outcomes[p].score.overall, expected.score.overall);
+    EXPECT_EQ(outcomes[p].score.realtime, expected.score.realtime);
+    EXPECT_EQ(outcomes[p].score.energy, expected.score.energy);
+    EXPECT_EQ(outcomes[p].score.qoe, expected.score.qoe);
+  }
+}
+
+TEST(SweepEngine, RepeatedParallelRunsAreStable) {
+  const auto points = two_points();
+  SweepEngine engine(3);
+  const auto a = engine.run_suite_points(points);
+  const auto b = engine.run_suite_points(points);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    expect_identical(a[p], b[p]);
+  }
+}
+
+TEST(SweepEngine, BuildCostTablesMatchesDirectConstruction) {
+  const costmodel::AnalyticalCostModel cm;
+  std::vector<hw::AcceleratorSystem> systems;
+  for (char id : {'A', 'J', 'M'}) {
+    systems.push_back(hw::make_accelerator(id, 4096));
+  }
+  SweepEngine engine(4);
+  const auto tables = engine.build_cost_tables(systems, cm);
+  ASSERT_EQ(tables.size(), systems.size());
+  const costmodel::AnalyticalCostModel fresh;
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    ASSERT_NE(tables[i], nullptr);
+    const runtime::CostTable direct(systems[i], fresh);
+    for (models::TaskId t : models::all_tasks()) {
+      for (std::size_t sa = 0; sa < systems[i].sub_accels.size(); ++sa) {
+        EXPECT_EQ(tables[i]->latency_ms(t, sa), direct.latency_ms(t, sa));
+        EXPECT_EQ(tables[i]->energy_mj(t, sa), direct.energy_mj(t, sa));
+      }
+    }
+  }
+}
+
+TEST(SweepEngine, MemoIsSharedAcrossPoints) {
+  // Designs A (WS 4096) and J@8192 (WS 4096 + OS 4096) share an identical
+  // WS-4096 partition: the shared cost model must evaluate those layers
+  // once. We can't observe the memo through SweepEngine directly, so check
+  // the underlying property on AnalyticalCostModel.
+  costmodel::AnalyticalCostModel cm;
+  const auto sys_a = hw::make_accelerator('A', 4096);
+  const runtime::CostTable table_a(sys_a, cm);
+  const std::size_t after_first = cm.memo_size();
+  EXPECT_GT(after_first, 0u);
+  // Same partition again: no new entries.
+  const runtime::CostTable table_a2(sys_a, cm);
+  EXPECT_EQ(cm.memo_size(), after_first);
+  // A different partition adds entries.
+  const auto sys_b = hw::make_accelerator('B', 4096);
+  const runtime::CostTable table_b(sys_b, cm);
+  EXPECT_GT(cm.memo_size(), after_first);
+}
+
+TEST(SweepEngine, EmptyPointListIsFine) {
+  SweepEngine engine(2);
+  EXPECT_TRUE(engine.run_suite_points({}).empty());
+  EXPECT_TRUE(engine.run_scenario_points({}).empty());
+}
+
+}  // namespace
+}  // namespace xrbench::core

@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace xrbench::util {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, InlineModeRunsOnCallerThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.submit([&seen] { seen = std::this_thread::get_id(); });
+  pool.wait_idle();
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&completed] { ++completed; });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 10);  // later tasks still ran
+  // The error is consumed: a subsequent wait succeeds.
+  pool.submit([&completed] { ++completed; });
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, InlineModeAlsoCapturesExceptions) {
+  ThreadPool pool(0);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      ++count;
+      for (int j = 0; j < 4; ++j) {
+        pool.submit([&count] { ++count; });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 8 + 8 * 4);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  ThreadPool inline_pool(0);
+  inline_pool.wait_idle();
+}
+
+TEST(ThreadPool, DefaultNumThreadsHonorsEnvVar) {
+  ASSERT_EQ(setenv("XRBENCH_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_num_threads(), 3u);
+  ASSERT_EQ(setenv("XRBENCH_THREADS", "0", 1), 0);
+  EXPECT_EQ(ThreadPool::default_num_threads(), 0u);
+  ASSERT_EQ(unsetenv("XRBENCH_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace xrbench::util
