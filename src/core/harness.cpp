@@ -16,7 +16,9 @@ runtime::ScenarioRunResult Harness::run_once(
   cfg.seed = seed;
   auto scheduler = runtime::make_scheduler(options_.scheduler);
   scheduler->reset();
-  return runner_.run(scenario, *scheduler, cfg);
+  auto governor = runtime::make_governor(options_.governor);
+  governor->reset();
+  return runner_.run(scenario, *scheduler, cfg, governor.get());
 }
 
 ScenarioOutcome Harness::run_scenario(

@@ -19,6 +19,9 @@ struct HarnessOptions {
   ScoreConfig score;
   runtime::SchedulerKind scheduler =
       runtime::SchedulerKind::kLatencyGreedy;
+  /// DVFS policy consulted at dispatch time. Fixed-nominal reproduces the
+  /// pre-DVFS behavior exactly (every inference runs at the nominal clock).
+  runtime::GovernorKind governor = runtime::GovernorKind::kFixedNominal;
   /// Trials averaged for dynamic (stochastic) scenarios; static scenarios
   /// always run once. Paper runs 200 trials for the Figure-7 sweep.
   int dynamic_trials = 20;

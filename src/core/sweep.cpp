@@ -14,6 +14,37 @@ bool same_energy(const costmodel::EnergyParams& a,
          a.static_mw_per_pe == b.static_mw_per_pe;
 }
 
+bool same_sub_accel(const costmodel::SubAccelConfig& a,
+                    const costmodel::SubAccelConfig& b) {
+  if (a.dataflow != b.dataflow || a.num_pes != b.num_pes ||
+      a.clock_ghz != b.clock_ghz ||
+      a.noc_bytes_per_cycle != b.noc_bytes_per_cycle ||
+      a.offchip_bytes_per_cycle != b.offchip_bytes_per_cycle ||
+      a.sram_bytes != b.sram_bytes ||
+      a.dvfs.nominal_level != b.dvfs.nominal_level ||
+      a.dvfs.levels.size() != b.dvfs.levels.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.dvfs.levels.size(); ++i) {
+    if (a.dvfs.levels[i].freq_ghz != b.dvfs.levels[i].freq_ghz ||
+        a.dvfs.levels[i].voltage_v != b.dvfs.levels[i].voltage_v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True when two systems produce identical CostTables (everything the cost
+/// model reads matches; ids/descriptions are ignored).
+bool same_system(const hw::AcceleratorSystem& a,
+                 const hw::AcceleratorSystem& b) {
+  if (a.sub_accels.size() != b.sub_accels.size()) return false;
+  for (std::size_t i = 0; i < a.sub_accels.size(); ++i) {
+    if (!same_sub_accel(a.sub_accels[i], b.sub_accels[i])) return false;
+  }
+  return true;
+}
+
 int trials_for(const workload::UsageScenario& scenario,
                const HarnessOptions& options) {
   return workload::is_dynamic_scenario(scenario)
@@ -40,8 +71,10 @@ void run_trial(const hw::AcceleratorSystem& system,
   cfg.seed += static_cast<std::uint64_t>(trial);
   auto scheduler = runtime::make_scheduler(options.scheduler);
   scheduler->reset();
+  auto governor = runtime::make_governor(options.governor);
+  governor->reset();
   const runtime::ScenarioRunner runner(system, table);
-  auto run = runner.run(scenario, *scheduler, cfg);
+  auto run = runner.run(scenario, *scheduler, cfg, governor.get());
   work.trial_scores[static_cast<std::size_t>(trial)] =
       score_scenario(run, options.score);
   if (trial == work.trials - 1) work.last_run = std::move(run);
@@ -134,28 +167,51 @@ std::vector<BenchmarkOutcome> SweepEngine::run_suite_points(
 
 std::vector<ScenarioOutcome> SweepEngine::run_scenario_points(
     const std::vector<ScenarioSweepPoint>& points) {
-  struct PointWork {
-    std::unique_ptr<runtime::CostTable> table;
-    ScenarioWork scenario;
-  };
-  std::vector<PointWork> work(points.size());
+  std::vector<ScenarioWork> work(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
-    auto& sw = work[p].scenario;
+    auto& sw = work[p];
     sw.trials = trials_for(points[p].scenario, points[p].options);
     sw.trial_scores.resize(static_cast<std::size_t>(sw.trials));
   }
 
+  // Points that share an accelerator system and energy constants share one
+  // CostTable build (governor/scenario sweeps like bench_ablation_dvfs vary
+  // only the policy across many points of a single design).
+  struct TableGroup {
+    std::unique_ptr<runtime::CostTable> table;
+    std::vector<std::size_t> members;  ///< Point indices, ascending.
+  };
+  std::vector<TableGroup> groups;
   for (std::size_t p = 0; p < points.size(); ++p) {
-    pool_.submit([this, &points, &work, p] {
-      const ScenarioSweepPoint& point = points[p];
-      auto& pw = work[p];
-      pw.table = std::make_unique<runtime::CostTable>(
-          point.system, model_for(point.options.energy));
-      for (int t = 0; t < pw.scenario.trials; ++t) {
-        pool_.submit([&points, &work, p, t] {
-          run_trial(points[p].system, *work[p].table, points[p].scenario,
-                    points[p].options, t, work[p].scenario);
-        });
+    TableGroup* home = nullptr;
+    for (auto& g : groups) {
+      const std::size_t rep = g.members.front();
+      if (same_system(points[rep].system, points[p].system) &&
+          same_energy(points[rep].options.energy, points[p].options.energy)) {
+        home = &g;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      groups.emplace_back();
+      home = &groups.back();
+    }
+    home->members.push_back(p);
+  }
+
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    pool_.submit([this, &points, &work, &groups, gi] {
+      TableGroup& group = groups[gi];
+      const std::size_t rep = group.members.front();
+      group.table = std::make_unique<runtime::CostTable>(
+          points[rep].system, model_for(points[rep].options.energy));
+      for (std::size_t p : group.members) {
+        for (int t = 0; t < work[p].trials; ++t) {
+          pool_.submit([&points, &work, &groups, gi, p, t] {
+            run_trial(points[p].system, *groups[gi].table, points[p].scenario,
+                      points[p].options, t, work[p]);
+          });
+        }
       }
     });
   }
@@ -163,7 +219,7 @@ std::vector<ScenarioOutcome> SweepEngine::run_scenario_points(
 
   std::vector<ScenarioOutcome> outcomes;
   outcomes.reserve(points.size());
-  for (auto& pw : work) outcomes.push_back(assemble(std::move(pw.scenario)));
+  for (auto& sw : work) outcomes.push_back(assemble(std::move(sw)));
   return outcomes;
 }
 

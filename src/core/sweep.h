@@ -61,6 +61,8 @@ class SweepEngine {
 
   /// Benchmarks each (system, scenario) pair. Equivalent to:
   ///   for (p : points) Harness(p.system, p.options).run_scenario(p.scenario)
+  /// Points sharing an identical system and energy constants share one
+  /// CostTable build (policy sweeps over a single design build it once).
   std::vector<ScenarioOutcome> run_scenario_points(
       const std::vector<ScenarioSweepPoint>& points);
 

@@ -275,6 +275,7 @@ LayerCost AnalyticalCostModel::mac_layer_cost(
   const double static_mj = energy_.static_mw_per_pe *
                            static_cast<double>(accel.num_pes) *
                            cost.latency_ms * 1e-3;  // mW * ms = uJ; /1e3 -> mJ
+  cost.static_energy_mj = static_mj;
   cost.energy_mj = pj * 1e-9 + static_mj;
   return cost;
 }
@@ -307,6 +308,7 @@ LayerCost AnalyticalCostModel::vector_layer_cost(
   const double static_mj = energy_.static_mw_per_pe *
                            static_cast<double>(accel.num_pes) *
                            cost.latency_ms * 1e-3;
+  cost.static_energy_mj = static_mj;
   cost.energy_mj = pj * 1e-9 + static_mj;
   return cost;
 }
@@ -369,6 +371,7 @@ ModelCost AnalyticalCostModel::model_cost(const ModelGraph& graph,
     LayerCost lc = layer_cost(layer, accel);
     mc.latency_ms += lc.latency_ms;
     mc.energy_mj += lc.energy_mj;
+    mc.static_energy_mj += lc.static_energy_mj;
     mc.dram_traffic_bytes += lc.dram_traffic_bytes;
     if (!is_vector_op(layer.type)) {
       const auto macs = static_cast<double>(layer.macs());
@@ -378,6 +381,53 @@ ModelCost AnalyticalCostModel::model_cost(const ModelGraph& graph,
     mc.layers.push_back(std::move(lc));
   }
   mc.avg_utilization = total_macs > 0 ? mac_weighted_util / total_macs : 0.0;
+  return mc;
+}
+
+ModelCost AnalyticalCostModel::model_cost_at(const ModelGraph& graph,
+                                             const SubAccelConfig& accel,
+                                             std::size_t dvfs_level) const {
+  const hw::DvfsState& dvfs = accel.dvfs;
+  if (dvfs_level >= dvfs.num_levels()) {
+    throw std::out_of_range("model_cost_at: DVFS level out of range for '" +
+                            accel.id + "'");
+  }
+  if (dvfs.levels.empty()) return model_cost(graph, accel);
+
+  const hw::DvfsOperatingPoint& op = dvfs.levels[dvfs_level];
+
+  // Shift the clock; the per-cycle bandwidths compensate so the physical
+  // GB/s (defined at the configured nominal clock) stay constant — a
+  // bandwidth-bound layer does not get faster by up-clocking the PEs.
+  SubAccelConfig scaled = accel;
+  if (op.freq_ghz != accel.clock_ghz) {
+    const double ratio = accel.clock_ghz / op.freq_ghz;
+    scaled.clock_ghz = op.freq_ghz;
+    scaled.noc_bytes_per_cycle = accel.noc_bytes_per_cycle * ratio;
+    scaled.offchip_bytes_per_cycle = accel.offchip_bytes_per_cycle * ratio;
+    // The shifted clock no longer matches the table's nominal anchor;
+    // the scaled config models a single fixed operating point.
+    scaled.dvfs = hw::DvfsState{};
+  }
+
+  ModelCost mc = model_cost(graph, scaled);
+  // The energy constants are calibrated at hw::kNominalVoltageV, so the
+  // scaling anchor is global — tables whose nominal point sits at a
+  // different voltage still produce energies comparable across sweeps.
+  const double vr = op.voltage_v / hw::kNominalVoltageV;
+  if (vr != 1.0) {
+    // Dynamic (switching) energy ~ C V^2 per operation; static (leakage)
+    // power ~ V, already integrated over the level's latency.
+    mc.energy_mj = 0.0;
+    mc.static_energy_mj = 0.0;
+    for (auto& lc : mc.layers) {
+      const double dynamic_mj = lc.energy_mj - lc.static_energy_mj;
+      lc.static_energy_mj *= vr;
+      lc.energy_mj = dynamic_mj * vr * vr + lc.static_energy_mj;
+      mc.energy_mj += lc.energy_mj;
+      mc.static_energy_mj += lc.static_energy_mj;
+    }
+  }
   return mc;
 }
 

@@ -10,6 +10,7 @@
 #include "costmodel/dataflow.h"
 #include "costmodel/graph.h"
 #include "costmodel/layer.h"
+#include "hw/dvfs.h"
 
 namespace xrbench::costmodel {
 
@@ -20,14 +21,23 @@ struct SubAccelConfig {
   std::string id;                      ///< e.g. "J.0"
   Dataflow dataflow = Dataflow::kWS;
   std::int64_t num_pes = 4096;
-  double clock_ghz = 1.0;
+  double clock_ghz = 1.0;              ///< Nominal core clock.
   double noc_bytes_per_cycle = 256.0;   ///< 256 GB/s at 1 GHz (paper §4.1).
   double offchip_bytes_per_cycle = 24.0;///< Wearable LPDDR-class share.
   std::int64_t sram_bytes = 8ll << 20;  ///< 8 MiB shared memory (paper §4.1).
+  /// DVFS operating points selectable at runtime. Empty = fixed nominal
+  /// clock. The per-cycle bandwidths above are interpreted relative to
+  /// `clock_ghz` (physical GB/s stay constant when the core clock moves),
+  /// and the table's nominal frequency must equal `clock_ghz` — that anchor
+  /// is what keeps nominal-level costs bit-identical to the fixed-clock
+  /// path (hw::with_dvfs enforces it at attach time, valid() everywhere
+  /// else).
+  hw::DvfsState dvfs;
 
   bool valid() const {
     return num_pes > 0 && clock_ghz > 0 && noc_bytes_per_cycle > 0 &&
-           offchip_bytes_per_cycle > 0 && sram_bytes > 0;
+           offchip_bytes_per_cycle > 0 && sram_bytes > 0 && dvfs.valid() &&
+           dvfs.anchored_at(clock_ghz);
   }
 };
 
@@ -50,6 +60,7 @@ struct LayerCost {
   double total_cycles = 0.0;  ///< max of the three + fixed overhead
   double latency_ms = 0.0;
   double energy_mj = 0.0;
+  double static_energy_mj = 0.0;  ///< Leakage/clock share of energy_mj.
   double utilization = 0.0;       ///< MACs / (total_cycles * PEs); 0 for vector ops
   double sram_traffic_bytes = 0.0;
   double dram_traffic_bytes = 0.0;
@@ -60,6 +71,7 @@ struct LayerCost {
 struct ModelCost {
   double latency_ms = 0.0;
   double energy_mj = 0.0;
+  double static_energy_mj = 0.0;  ///< Leakage/clock share of energy_mj.
   double avg_utilization = 0.0;  ///< MAC-weighted average across MAC layers.
   double dram_traffic_bytes = 0.0;
   std::vector<LayerCost> layers;
@@ -90,6 +102,18 @@ class AnalyticalCostModel {
 
   ModelCost model_cost(const ModelGraph& graph,
                        const SubAccelConfig& accel) const;
+
+  /// Cost of `graph` on `accel` running at DVFS level `dvfs_level` of
+  /// accel.dvfs. Latency follows the shifted clock through the roofline
+  /// (compute cycles scale with frequency; NoC/DRAM bandwidths are physical
+  /// and clock-independent), dynamic energy scales with (V/Vnom)^2 and
+  /// static power with V/Vnom, anchored at the global calibration voltage
+  /// hw::kNominalVoltageV. For a table whose nominal point sits at the
+  /// configured clock and the calibration voltage (hw::default_dvfs_state
+  /// does both) the nominal level is bit-identical to model_cost(). Throws
+  /// std::out_of_range for an invalid level.
+  ModelCost model_cost_at(const ModelGraph& graph, const SubAccelConfig& accel,
+                          std::size_t dvfs_level) const;
 
   const EnergyParams& energy_params() const { return energy_; }
 

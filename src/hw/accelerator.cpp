@@ -137,4 +137,27 @@ std::vector<AcceleratorSystem> all_accelerators(std::int64_t total_pes) {
   return systems;
 }
 
+AcceleratorSystem with_dvfs(AcceleratorSystem system, const DvfsState& dvfs) {
+  if (!dvfs.valid()) {
+    throw std::invalid_argument("with_dvfs: invalid DVFS table");
+  }
+  for (auto& sa : system.sub_accels) {
+    if (!dvfs.anchored_at(sa.clock_ghz)) {
+      throw std::invalid_argument(
+          "with_dvfs: nominal DVFS frequency does not match the clock of "
+          "sub-accelerator '" +
+          sa.id + "'");
+    }
+    sa.dvfs = dvfs;
+  }
+  return system;
+}
+
+AcceleratorSystem with_default_dvfs(AcceleratorSystem system) {
+  for (auto& sa : system.sub_accels) {
+    sa.dvfs = default_dvfs_state(sa.clock_ghz);
+  }
+  return system;
+}
+
 }  // namespace xrbench::hw

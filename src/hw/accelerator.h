@@ -50,6 +50,17 @@ AcceleratorSystem make_accelerator(char id, std::int64_t total_pes);
 /// All 13 designs A..M at the given chip size.
 std::vector<AcceleratorSystem> all_accelerators(std::int64_t total_pes);
 
+/// Returns a copy of `system` with `dvfs` attached to every sub-accelerator.
+/// Throws std::invalid_argument when the table is invalid or its nominal
+/// frequency does not match a sub-accelerator's configured clock (the
+/// invariant that keeps nominal-level costs bit-identical to the fixed-clock
+/// path).
+AcceleratorSystem with_dvfs(AcceleratorSystem system, const DvfsState& dvfs);
+
+/// Attaches the default five-point ladder of hw/dvfs.h, anchored at each
+/// sub-accelerator's configured clock.
+AcceleratorSystem with_default_dvfs(AcceleratorSystem system);
+
 /// The Table-5 id letters in order.
 const std::vector<char>& accelerator_ids();
 

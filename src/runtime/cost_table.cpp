@@ -12,23 +12,57 @@ CostTable::CostTable(const hw::AcceleratorSystem& system,
   if (num_sub_accels_ == 0) {
     throw std::invalid_argument("CostTable: accelerator system is empty");
   }
-  costs_.resize(models::kNumTasks * num_sub_accels_);
+  num_levels_.reserve(num_sub_accels_);
+  nominal_level_.reserve(num_sub_accels_);
+  level_offset_.reserve(num_sub_accels_);
+  nominal_offset_.reserve(num_sub_accels_);
+  for (const auto& sa : system.sub_accels) {
+    if (!sa.dvfs.valid() || !sa.dvfs.anchored_at(sa.clock_ghz)) {
+      // A DVFS table anchored at a different clock would make the
+      // "nominal" row silently diverge from the fixed-clock costs.
+      throw std::invalid_argument(
+          "CostTable: invalid or mis-anchored DVFS table on "
+          "sub-accelerator '" +
+          sa.id + "'");
+    }
+    level_offset_.push_back(total_levels_);
+    num_levels_.push_back(sa.dvfs.num_levels());
+    nominal_level_.push_back(sa.dvfs.levels.empty() ? 0
+                                                    : sa.dvfs.nominal_level);
+    nominal_offset_.push_back(level_offset_.back() + nominal_level_.back());
+    total_levels_ += num_levels_.back();
+  }
+
+  costs_.resize(models::kNumTasks * total_levels_);
   for (models::TaskId task : models::all_tasks()) {
     const auto& graph = models::model_graph(task);
+    const std::size_t row = models::task_index(task) * total_levels_;
     for (std::size_t sa = 0; sa < num_sub_accels_; ++sa) {
-      const auto mc = cost_model.model_cost(graph, system.sub_accels[sa]);
-      costs_[models::task_index(task) * num_sub_accels_ + sa] =
-          ExecutionCost{mc.latency_ms, mc.energy_mj, mc.avg_utilization};
+      for (std::size_t lvl = 0; lvl < num_levels_[sa]; ++lvl) {
+        const auto mc =
+            cost_model.model_cost_at(graph, system.sub_accels[sa], lvl);
+        costs_[row + level_offset_[sa] + lvl] =
+            ExecutionCost{mc.latency_ms, mc.energy_mj, mc.avg_utilization};
+      }
     }
   }
 }
 
-const ExecutionCost& CostTable::cost(models::TaskId task,
-                                     std::size_t sub_accel) const {
+void CostTable::check_sub_accel(std::size_t sub_accel) const {
   if (sub_accel >= num_sub_accels_) {
-    throw std::out_of_range("CostTable::cost: sub_accel out of range");
+    throw std::out_of_range("CostTable: sub_accel out of range");
   }
-  return costs_[models::task_index(task) * num_sub_accels_ + sub_accel];
+}
+
+const ExecutionCost& CostTable::cost(models::TaskId task,
+                                     std::size_t sub_accel,
+                                     std::size_t level) const {
+  check_sub_accel(sub_accel);
+  if (level >= num_levels_[sub_accel]) {
+    throw std::out_of_range("CostTable::cost: DVFS level out of range");
+  }
+  return costs_[models::task_index(task) * total_levels_ +
+                level_offset_[sub_accel] + level];
 }
 
 std::size_t CostTable::fastest_sub_accel(models::TaskId task) const {

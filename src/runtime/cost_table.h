@@ -8,7 +8,7 @@
 
 namespace xrbench::runtime {
 
-/// Latency/energy of one (model, sub-accelerator) pair.
+/// Latency/energy of one (model, sub-accelerator, DVFS level) triple.
 struct ExecutionCost {
   double latency_ms = 0.0;
   double energy_mj = 0.0;
@@ -16,32 +16,77 @@ struct ExecutionCost {
 };
 
 /// Precomputed execution costs of every unit model on every sub-accelerator
-/// of one accelerator system. The dispatcher queries this table instead of
-/// re-running the analytical model per request (models are static per run,
-/// mirroring the paper's MAESTRO-precomputation flow).
+/// of one accelerator system, at every DVFS operating level the
+/// sub-accelerator exposes. The dispatcher (and the FrequencyGovernor it
+/// consults) query this table instead of re-running the analytical model per
+/// request (models are static per run, mirroring the paper's
+/// MAESTRO-precomputation flow). A sub-accelerator without a DVFS table has
+/// exactly one level — the nominal clock — so the non-DVFS path pays no
+/// extra build cost.
 class CostTable {
  public:
-  /// Evaluates all 11 unit models on each sub-accelerator of `system`.
+  /// Evaluates all 11 unit models on each (sub-accelerator, level) of
+  /// `system`.
   CostTable(const hw::AcceleratorSystem& system,
             const costmodel::AnalyticalCostModel& cost_model);
 
-  const ExecutionCost& cost(models::TaskId task, std::size_t sub_accel) const;
+  /// Cost at the sub-accelerator's nominal level. One bounds check and one
+  /// multiply-add, same as the pre-DVFS table — this is the scheduler's hot
+  /// path (every (pending, idle) pair of every dispatch event).
+  const ExecutionCost& cost(models::TaskId task, std::size_t sub_accel) const {
+    check_sub_accel(sub_accel);
+    return costs_[models::task_index(task) * total_levels_ +
+                  nominal_offset_[sub_accel]];
+  }
+  /// Cost at an explicit DVFS level. Throws std::out_of_range.
+  const ExecutionCost& cost(models::TaskId task, std::size_t sub_accel,
+                            std::size_t level) const;
 
   double latency_ms(models::TaskId task, std::size_t sub_accel) const {
     return cost(task, sub_accel).latency_ms;
   }
+  double latency_ms(models::TaskId task, std::size_t sub_accel,
+                    std::size_t level) const {
+    return cost(task, sub_accel, level).latency_ms;
+  }
   double energy_mj(models::TaskId task, std::size_t sub_accel) const {
     return cost(task, sub_accel).energy_mj;
   }
+  double energy_mj(models::TaskId task, std::size_t sub_accel,
+                   std::size_t level) const {
+    return cost(task, sub_accel, level).energy_mj;
+  }
 
-  /// Index of the sub-accelerator with minimal latency for `task`.
+  /// Index of the sub-accelerator with minimal nominal latency for `task`.
   std::size_t fastest_sub_accel(models::TaskId task) const;
 
   std::size_t num_sub_accels() const { return num_sub_accels_; }
 
+  /// Number of DVFS levels of `sub_accel` (>= 1).
+  std::size_t num_levels(std::size_t sub_accel) const {
+    check_sub_accel(sub_accel);
+    return num_levels_[sub_accel];
+  }
+  /// The nominal (calibration) level of `sub_accel`.
+  std::size_t nominal_level(std::size_t sub_accel) const {
+    return checked_nominal(sub_accel);
+  }
+
  private:
+  void check_sub_accel(std::size_t sub_accel) const;
+  std::size_t checked_nominal(std::size_t sub_accel) const {
+    check_sub_accel(sub_accel);
+    return nominal_level_[sub_accel];
+  }
+
   std::size_t num_sub_accels_ = 0;
-  // Row-major [task][sub_accel].
+  std::size_t total_levels_ = 0;  ///< Sum of num_levels_ over sub-accels.
+  std::vector<std::size_t> num_levels_;     ///< Per sub-accelerator.
+  std::vector<std::size_t> nominal_level_;  ///< Per sub-accelerator.
+  std::vector<std::size_t> level_offset_;   ///< Prefix sums of num_levels_.
+  /// level_offset_ + nominal_level_, precomputed for the nominal hot path.
+  std::vector<std::size_t> nominal_offset_;
+  // Row-major [task][level_offset(sub_accel) + level].
   std::vector<ExecutionCost> costs_;
 };
 

@@ -1,0 +1,102 @@
+#include "runtime/governor.h"
+
+#include <stdexcept>
+
+namespace xrbench::runtime {
+namespace {
+
+void check_context(const GovernorContext& ctx) {
+  if (ctx.request == nullptr || ctx.costs == nullptr ||
+      ctx.sub_accel >= ctx.costs->num_sub_accels()) {
+    throw std::invalid_argument("FrequencyGovernor: incomplete context");
+  }
+}
+
+}  // namespace
+
+const char* FixedLevelGovernor::name() const {
+  switch (level_) {
+    case Level::kLowest: return governor_kind_name(GovernorKind::kFixedLowest);
+    case Level::kNominal:
+      return governor_kind_name(GovernorKind::kFixedNominal);
+    case Level::kHighest:
+      return governor_kind_name(GovernorKind::kFixedHighest);
+  }
+  return "?";
+}
+
+std::size_t FixedLevelGovernor::level_for(const GovernorContext& ctx) {
+  check_context(ctx);
+  switch (level_) {
+    case Level::kLowest: return 0;
+    case Level::kNominal: return ctx.costs->nominal_level(ctx.sub_accel);
+    case Level::kHighest: return ctx.costs->num_levels(ctx.sub_accel) - 1;
+  }
+  return 0;
+}
+
+std::size_t DeadlineAwareGovernor::level_for(const GovernorContext& ctx) {
+  check_context(ctx);
+  const std::size_t num = ctx.costs->num_levels(ctx.sub_accel);
+  const models::TaskId task = ctx.request->task;
+  std::optional<std::size_t> best;
+  double best_energy = 0.0;
+  for (std::size_t lvl = 0; lvl < num; ++lvl) {
+    const auto& cost = ctx.costs->cost(task, ctx.sub_accel, lvl);
+    if (ctx.now_ms + cost.latency_ms > ctx.request->tdl_ms) continue;
+    // Strict < keeps the tie-break at the lower level index — a
+    // permutation-free, order-independent choice.
+    if (!best || cost.energy_mj < best_energy) {
+      best = lvl;
+      best_energy = cost.energy_mj;
+    }
+  }
+  // Already doomed on every level: sprint to minimize the overrun (levels
+  // are sorted ascending by frequency, so the last is the fastest).
+  return best ? *best : num - 1;
+}
+
+std::size_t RaceToIdleGovernor::level_for(const GovernorContext& ctx) {
+  check_context(ctx);
+  return ctx.costs->num_levels(ctx.sub_accel) - 1;
+}
+
+const char* governor_kind_name(GovernorKind kind) {
+  switch (kind) {
+    case GovernorKind::kFixedLowest: return "fixed-lowest";
+    case GovernorKind::kFixedNominal: return "fixed-nominal";
+    case GovernorKind::kFixedHighest: return "fixed-highest";
+    case GovernorKind::kDeadlineAware: return "deadline-aware";
+    case GovernorKind::kRaceToIdle: return "race-to-idle";
+  }
+  return "?";
+}
+
+std::unique_ptr<FrequencyGovernor> make_governor(GovernorKind kind) {
+  switch (kind) {
+    case GovernorKind::kFixedLowest:
+      return std::make_unique<FixedLevelGovernor>(
+          FixedLevelGovernor::Level::kLowest);
+    case GovernorKind::kFixedNominal:
+      return std::make_unique<FixedLevelGovernor>(
+          FixedLevelGovernor::Level::kNominal);
+    case GovernorKind::kFixedHighest:
+      return std::make_unique<FixedLevelGovernor>(
+          FixedLevelGovernor::Level::kHighest);
+    case GovernorKind::kDeadlineAware:
+      return std::make_unique<DeadlineAwareGovernor>();
+    case GovernorKind::kRaceToIdle:
+      return std::make_unique<RaceToIdleGovernor>();
+  }
+  return nullptr;
+}
+
+const std::vector<GovernorKind>& all_governor_kinds() {
+  static const std::vector<GovernorKind> kinds = {
+      GovernorKind::kFixedLowest, GovernorKind::kFixedNominal,
+      GovernorKind::kFixedHighest, GovernorKind::kDeadlineAware,
+      GovernorKind::kRaceToIdle};
+  return kinds;
+}
+
+}  // namespace xrbench::runtime

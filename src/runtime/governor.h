@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/cost_table.h"
+#include "runtime/request.h"
+
+namespace xrbench::runtime {
+
+/// What the dispatcher exposes to a frequency-scaling policy when an
+/// inference is about to start: the chosen request, the sub-accelerator it
+/// was assigned to, and the per-level cost table.
+struct GovernorContext {
+  double now_ms = 0.0;
+  const InferenceRequest* request = nullptr;
+  std::size_t sub_accel = 0;
+  const CostTable* costs = nullptr;
+};
+
+/// DVFS policy interface. The dispatcher consults the governor once per
+/// dispatch, after the Scheduler picked (request, sub-accelerator); the
+/// returned level selects the (latency, energy) row of the CostTable the
+/// inference executes under.
+///
+/// Contract: level_for() must be a pure function of the context (no
+/// dependence on call ordering beyond reset()), and must return a level
+/// < ctx.costs->num_levels(ctx.sub_accel) — this is what keeps governed
+/// runs inside the parallel-sweep determinism guarantee.
+class FrequencyGovernor {
+ public:
+  virtual ~FrequencyGovernor() = default;
+  virtual const char* name() const = 0;
+
+  /// Picks the DVFS level to run ctx.request on ctx.sub_accel.
+  virtual std::size_t level_for(const GovernorContext& ctx) = 0;
+
+  /// Called once before a run so stateful policies can reset.
+  virtual void reset() {}
+};
+
+/// Fixed-level policy: always run at the lowest, nominal, or highest
+/// operating point of the chosen sub-accelerator (the "performance" /
+/// "powersave" endpoints of a classic cpufreq governor).
+class FixedLevelGovernor final : public FrequencyGovernor {
+ public:
+  enum class Level { kLowest, kNominal, kHighest };
+  explicit FixedLevelGovernor(Level level) : level_(level) {}
+
+  const char* name() const override;
+  std::size_t level_for(const GovernorContext& ctx) override;
+
+ private:
+  Level level_;
+};
+
+/// Deadline-aware "slow to the deadline" policy: among the levels whose
+/// predicted completion (now + latency at that level) still meets the
+/// request's deadline, pick the one with minimal energy (ties -> lowest
+/// level). When no level can make the deadline, fall back to the fastest
+/// level to minimize the overrun.
+class DeadlineAwareGovernor final : public FrequencyGovernor {
+ public:
+  const char* name() const override { return "deadline-aware"; }
+  std::size_t level_for(const GovernorContext& ctx) override;
+};
+
+/// Race-to-idle policy: always sprint at the highest operating point so the
+/// sub-accelerator returns to idle as fast as possible. In the current cost
+/// model — which charges static power only while an inference executes —
+/// this coincides with fixed-highest in every metric; it exists as a
+/// distinct policy so that an idle-power term (a natural extension) can
+/// separate them without touching callers.
+class RaceToIdleGovernor final : public FrequencyGovernor {
+ public:
+  const char* name() const override { return "race-to-idle"; }
+  std::size_t level_for(const GovernorContext& ctx) override;
+};
+
+enum class GovernorKind {
+  kFixedLowest,
+  kFixedNominal,
+  kFixedHighest,
+  kDeadlineAware,
+  kRaceToIdle,
+};
+
+const char* governor_kind_name(GovernorKind kind);
+std::unique_ptr<FrequencyGovernor> make_governor(GovernorKind kind);
+
+/// All governor kinds, in declaration order (for policy sweeps).
+const std::vector<GovernorKind>& all_governor_kinds();
+
+}  // namespace xrbench::runtime

@@ -27,6 +27,7 @@ struct InferenceRecord {
   double tdl_ms = 0.0;
   bool dropped = false;       ///< Never started before its deadline.
   int sub_accel = -1;         ///< Executing sub-accelerator index.
+  int dvfs_level = -1;        ///< DVFS level it executed at (-1 if dropped).
   double dispatch_ms = 0.0;   ///< Execution start time.
   double complete_ms = 0.0;   ///< Execution end time.
   double energy_mj = 0.0;

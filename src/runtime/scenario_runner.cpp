@@ -65,6 +65,7 @@ double deadline_ms(const InputSource& src, double model_fps, std::int64_t f) {
 struct RunEngine {
   const CostTable& costs;
   Scheduler& scheduler;
+  FrequencyGovernor* governor = nullptr;  ///< May be null: nominal level.
 
   sim::Simulator sim;
   util::Rng rng;
@@ -113,7 +114,7 @@ struct RunEngine {
   }
 
   void on_complete(const InferenceRequest& req, std::size_t sa,
-                   double start_ms) {
+                   std::size_t level, double start_ms) {
     const double now = sim.now();
     accel_busy[sa] = 0;
     accel_busy_ms[sa] += now - start_ms;
@@ -126,9 +127,10 @@ struct RunEngine {
     rec.treq_ms = req.treq_ms;
     rec.tdl_ms = req.tdl_ms;
     rec.sub_accel = static_cast<int>(sa);
+    rec.dvfs_level = static_cast<int>(level);
     rec.dispatch_ms = start_ms;
     rec.complete_ms = now;
-    rec.energy_mj = costs.energy_mj(req.task, sa) + baseline_mj[sl];
+    rec.energy_mj = costs.energy_mj(req.task, sa, level) + baseline_mj[sl];
     total_energy_mj += rec.energy_mj;
     ++ms.frames_executed;
     if (rec.missed_deadline()) ++ms.deadline_misses;
@@ -186,10 +188,22 @@ struct RunEngine {
       const std::size_t sa = choice->sub_accel;
       accel_busy[sa] = 1;
       const double start = sim.now();
-      const double latency = costs.latency_ms(req.task, sa);
+      std::size_t level = costs.nominal_level(sa);
+      if (governor != nullptr) {
+        GovernorContext gctx;
+        gctx.now_ms = start;
+        gctx.request = &req;
+        gctx.sub_accel = sa;
+        gctx.costs = &costs;
+        level = governor->level_for(gctx);
+        if (level >= costs.num_levels(sa)) {
+          throw std::logic_error("Governor returned an invalid DVFS level");
+        }
+      }
+      const double latency = costs.latency_ms(req.task, sa, level);
       RunEngine* self = this;
-      sim.schedule_after(latency, [self, req, sa, start] {
-        self->on_complete(req, sa, start);
+      sim.schedule_after(latency, [self, req, sa, level, start] {
+        self->on_complete(req, sa, level, start);
       });
     }
   }
@@ -199,7 +213,8 @@ struct RunEngine {
 
 ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
                                       Scheduler& scheduler,
-                                      const RunConfig& config) const {
+                                      const RunConfig& config,
+                                      FrequencyGovernor* governor) const {
   if (config.duration_ms <= 0.0) {
     throw std::invalid_argument("ScenarioRunner::run: duration must be > 0");
   }
@@ -217,8 +232,13 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
           models::task_code(sm.task));
     }
   }
+  // Shared with scenario_io::from_config_text: the parser rejects rate
+  // mismatches at load time, this preflight catches programmatically-built
+  // scenarios.
+  workload::validate_dependency_rates(scenario);
 
   RunEngine eng(*costs_, scheduler);
+  eng.governor = governor;
   eng.rng.reseed(config.seed);
   eng.accel_busy.assign(system_->sub_accels.size(), 0);
   eng.accel_busy_ms.assign(system_->sub_accels.size(), 0.0);
@@ -314,15 +334,29 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   result.total_energy_mj = eng.total_energy_mj;
   result.sub_accel_busy_ms = std::move(eng.accel_busy_ms);
   result.timeline = std::move(eng.timeline);
+  // Full tie-break: two dispatches can share a start time (distinct idle
+  // sub-accelerators at one event), and std::sort is not stable — keying on
+  // start_ms alone would let equal-time entries permute between runs or
+  // stdlib implementations.
   std::sort(result.timeline.begin(), result.timeline.end(),
             [](const BusyInterval& a, const BusyInterval& b) {
-              return a.start_ms < b.start_ms;
+              if (a.start_ms != b.start_ms) return a.start_ms < b.start_ms;
+              if (a.sub_accel != b.sub_accel) return a.sub_accel < b.sub_accel;
+              if (a.task != b.task) {
+                return models::task_index(a.task) < models::task_index(b.task);
+              }
+              return a.frame < b.frame;
             });
   result.per_model.reserve(num_models);
   for (auto& ms : eng.stats) {
+    // Same reasoning as the timeline sort: a frame index can repeat within
+    // one model's records, so break ties on the remaining attributes.
     std::sort(ms.records.begin(), ms.records.end(),
               [](const InferenceRecord& a, const InferenceRecord& b) {
-                return a.frame < b.frame;
+                if (a.frame != b.frame) return a.frame < b.frame;
+                if (a.treq_ms != b.treq_ms) return a.treq_ms < b.treq_ms;
+                if (a.dropped != b.dropped) return b.dropped;  // executed first
+                return a.dispatch_ms < b.dispatch_ms;
               });
     result.per_model.push_back(std::move(ms));
   }

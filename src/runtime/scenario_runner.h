@@ -6,6 +6,7 @@
 
 #include "hw/accelerator.h"
 #include "runtime/cost_table.h"
+#include "runtime/governor.h"
 #include "runtime/request.h"
 #include "runtime/scheduler.h"
 #include "workload/scenario.h"
@@ -87,8 +88,12 @@ class ScenarioRunner {
  public:
   ScenarioRunner(const hw::AcceleratorSystem& system, const CostTable& costs);
 
+  /// Runs `scenario`. When `governor` is non-null the dispatcher consults it
+  /// at every dispatch for the DVFS level to execute under; a null governor
+  /// runs everything at each sub-accelerator's nominal level.
   ScenarioRunResult run(const workload::UsageScenario& scenario,
-                        Scheduler& scheduler, const RunConfig& config) const;
+                        Scheduler& scheduler, const RunConfig& config,
+                        FrequencyGovernor* governor = nullptr) const;
 
  private:
   const hw::AcceleratorSystem* system_;

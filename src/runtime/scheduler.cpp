@@ -82,7 +82,19 @@ std::optional<Assignment> RoundRobinScheduler::pick(
     std::optional<std::size_t> oldest;
     for (std::size_t ri = 0; ri < pending.size(); ++ri) {
       if (pending[ri].task != task) continue;
-      if (!oldest || pending[ri].frame < pending[*oldest].frame) oldest = ri;
+      if (!oldest) {
+        oldest = ri;
+        continue;
+      }
+      const InferenceRequest& cand = pending[ri];
+      const InferenceRequest& cur = pending[*oldest];
+      // Equal frames route through the canonical tie-break: the pending
+      // vector is swap-remove-compacted, so "first in vector" would leak
+      // incidental container order into the decision (see scheduler.h).
+      if (cand.frame < cur.frame ||
+          (cand.frame == cur.frame && precedes(cand, cur))) {
+        oldest = ri;
+      }
     }
     if (oldest) {
       next_task_ = (ti + 1) % models::kNumTasks;

@@ -55,12 +55,12 @@ double RunningStats::max() const {
   return n_ == 0 ? -std::numeric_limits<double>::infinity() : max_;
 }
 
+void Percentiles::add(double x) {
+  samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), x), x);
+}
+
 double Percentiles::percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -36,12 +36,17 @@ class RunningStats {
 
 /// Exact percentile over a stored sample set (used for tail-latency reports).
 /// Keeps all samples; prefer RunningStats when only moments are needed.
+///
+/// Samples are kept sorted on insert, so percentile() is a genuinely const
+/// read — concurrent queries from sweep-result readers are safe (the former
+/// lazy sort mutated state under const, a data race). The binary-insert
+/// add() is O(n) per sample; right for the report-sized sample sets this
+/// class serves. If a million-sample producer ever appears, give it a
+/// bulk constructor that sorts once instead of reintroducing lazy
+/// const-mutation.
 class Percentiles {
  public:
-  void add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
-  }
+  void add(double x);
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
@@ -51,8 +56,7 @@ class Percentiles {
   double median() const { return percentile(50.0); }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;  ///< Always sorted ascending.
 };
 
 /// Arithmetic mean of a vector; 0 for an empty vector.

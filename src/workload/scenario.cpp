@@ -104,6 +104,34 @@ std::vector<UsageScenario> build_suite() {
   return suite;
 }
 
+std::vector<UsageScenario> build_extensions() {
+  std::vector<UsageScenario> extra;
+
+  // Low-Power Wearable — always-on assistant glasses between interactions:
+  // slow keyword spotting, gesture tracking at half rate, ambient activity
+  // recognition. Every model has generous slack relative to its cost, which
+  // is exactly where a DVFS governor can trade frequency for energy.
+  extra.push_back(UsageScenario{
+      "Low-Power Wearable",
+      "Always-on assistant glasses idling between interactions",
+      {independent(TaskId::kKD, 3),
+       control_dep(TaskId::kSR, 3, TaskId::kKD, 0.25),
+       independent(TaskId::kHT, 15), independent(TaskId::kAS, 30)}});
+
+  // Bursty Notification — incoming-message bursts on AR glasses: the
+  // keyword-gated speech cascade fires often (p=0.8), and the eye pipeline
+  // wakes at half rate to drive notification gaze interaction.
+  extra.push_back(UsageScenario{
+      "Bursty Notification",
+      "Incoming-notification bursts with gaze-driven interaction",
+      {independent(TaskId::kKD, 3),
+       control_dep(TaskId::kSR, 3, TaskId::kKD, 0.8),
+       independent(TaskId::kES, 30), data_dep(TaskId::kGE, 30, TaskId::kES),
+       independent(TaskId::kHT, 30)}});
+
+  return extra;
+}
+
 }  // namespace
 
 const std::vector<UsageScenario>& benchmark_suite() {
@@ -111,12 +139,34 @@ const std::vector<UsageScenario>& benchmark_suite() {
   return suite;
 }
 
+const std::vector<UsageScenario>& extension_scenarios() {
+  static const std::vector<UsageScenario> extra = build_extensions();
+  return extra;
+}
+
 const UsageScenario& scenario_by_name(const std::string& name) {
   for (const auto& s : benchmark_suite()) {
     if (s.name == name) return s;
   }
+  for (const auto& s : extension_scenarios()) {
+    if (s.name == name) return s;
+  }
   throw std::invalid_argument("scenario_by_name: unknown scenario '" + name +
                               "'");
+}
+
+void validate_dependency_rates(const UsageScenario& scenario) {
+  for (const auto& m : scenario.models) {
+    if (!m.depends_on || m.dependency != DependencyType::kData) continue;
+    const ScenarioModel* up = scenario.find(*m.depends_on);
+    if (up != nullptr && up->target_fps != m.target_fps) {
+      throw std::invalid_argument(
+          "data-dependent model " + std::string(models::task_code(m.task)) +
+          " targets " + std::to_string(m.target_fps) +
+          " FPS but its upstream " + models::task_code(up->task) +
+          " runs at " + std::to_string(up->target_fps) + " FPS");
+    }
+  }
 }
 
 bool is_dynamic_scenario(const UsageScenario& scenario) {

@@ -49,13 +49,28 @@ struct UsageScenario {
 /// PDF table flattens ambiguously.
 const std::vector<UsageScenario>& benchmark_suite();
 
-/// Looks a scenario up by name (exact match). Throws on unknown name.
+/// Extension scenarios beyond Table 2 (not part of the scored suite):
+/// "Low-Power Wearable" (an always-on, high-slack profile that stresses
+/// DVFS down-clocking) and "Bursty Notification" (a keyword-gated burst
+/// profile whose load swings between idle and a dependent cascade).
+const std::vector<UsageScenario>& extension_scenarios();
+
+/// Looks a scenario up by name (exact match) across the Table-2 suite and
+/// the extension scenarios. Throws on unknown name.
 const UsageScenario& scenario_by_name(const std::string& name);
 
 /// True when any model in the scenario has a control dependency with
 /// trigger probability < 1 (i.e. the workload is stochastic and benches
 /// should average multiple trials — paper §4.1 / appendix D.6).
 bool is_dynamic_scenario(const UsageScenario& scenario);
+
+/// Throws std::invalid_argument when a data-dependent model's target_fps
+/// differs from its (active) upstream's rate. Such a model is requested
+/// once per upstream completion but scores its QoE against its own target
+/// rate, so a mismatch silently skews QoE. Shared by the scenario parser
+/// and the runner's preflight checks; an absent upstream is not an error
+/// here (the runner tolerates it — the model is simply never triggered).
+void validate_dependency_rates(const UsageScenario& scenario);
 
 /// Returns a copy of `scenario` with every data/control trigger probability
 /// on the ES->GE edge replaced by `p` (the Figure-7 cascade sweep).

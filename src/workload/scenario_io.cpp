@@ -83,7 +83,7 @@ UsageScenario from_config_text(const std::string& text) {
     }
     scenario.models.push_back(std::move(m));
   }
-  // Dependencies must reference active models.
+  // Dependencies must reference active models...
   for (const auto& m : scenario.models) {
     if (m.depends_on && scenario.find(*m.depends_on) == nullptr) {
       throw std::invalid_argument(
@@ -92,6 +92,9 @@ UsageScenario from_config_text(const std::string& text) {
           std::string(models::task_code(*m.depends_on)));
     }
   }
+  // ...and data-dependent models must consume at their upstream's rate
+  // (same helper the runner's preflight uses).
+  validate_dependency_rates(scenario);
   return scenario;
 }
 

@@ -147,6 +147,34 @@ TEST(ScenarioIo, RejectsInvalidScenarios) {
                    "[model]\ntask = GE\nfps = 60\ndepends_on = ES\n"
                    "dependency = data\ntrigger_probability = 1.5\n"),
                std::invalid_argument);
+  // Data-dependent model whose rate differs from its upstream's: it would
+  // be requested at the upstream's completion rate but score its QoE
+  // against its own target_fps, so the parser rejects the mismatch.
+  EXPECT_THROW(workload::from_config_text(
+                   "[scenario]\nname = x\n[model]\ntask = ES\nfps = 60\n"
+                   "[model]\ntask = GE\nfps = 30\ndepends_on = ES\n"
+                   "dependency = data\n"),
+               std::invalid_argument);
+  // The same rates parse fine, and a control dependency may diverge.
+  EXPECT_NO_THROW(workload::from_config_text(
+      "[scenario]\nname = x\n[model]\ntask = ES\nfps = 60\n"
+      "[model]\ntask = GE\nfps = 60\ndepends_on = ES\n"
+      "dependency = data\n"));
+  EXPECT_NO_THROW(workload::from_config_text(
+      "[scenario]\nname = x\n[model]\ntask = KD\nfps = 3\n"
+      "[model]\ntask = SR\nfps = 1\ndepends_on = KD\n"
+      "dependency = control\ntrigger_probability = 0.5\n"));
+}
+
+TEST(ScenarioIo, RoundTripsExtensionScenarios) {
+  for (const auto& scenario : workload::extension_scenarios()) {
+    const auto text = workload::to_config_text(scenario);
+    const auto loaded = workload::from_config_text(text);
+    EXPECT_EQ(loaded.name, scenario.name);
+    EXPECT_EQ(loaded.models.size(), scenario.models.size()) << scenario.name;
+    // And they resolve through the by-name registry.
+    EXPECT_EQ(workload::scenario_by_name(scenario.name).name, scenario.name);
+  }
 }
 
 TEST(ScenarioIo, FileRoundTrip) {

@@ -81,6 +81,44 @@ TEST_F(RunnerTest, Figure6Shape4kVs8k) {
   EXPECT_GT(drop_rate(r4), 2.0 * drop_rate(r8));
 }
 
+TEST_F(RunnerTest, TimelineTiesHaveDeterministicTotalOrder) {
+  // With jitter off, independent models arrive at identical ideal times and
+  // a multi-sub-accelerator system dispatches several of them in the same
+  // simulation event — equal start_ms entries are common. The report sort
+  // must impose a full (start, sub_accel, task, frame) order so equal-time
+  // entries cannot permute between runs or stdlib sort implementations.
+  RunConfig cfg{1000.0, 11, false, 2.0};
+  const auto r = run('M', 8192, scenario_by_name("AR Assistant"), cfg);
+  bool any_tie = false;
+  for (std::size_t i = 1; i < r.timeline.size(); ++i) {
+    const auto& prev = r.timeline[i - 1];
+    const auto& cur = r.timeline[i];
+    ASSERT_LE(prev.start_ms, cur.start_ms);
+    if (prev.start_ms == cur.start_ms) {
+      any_tie = true;
+      const bool ordered =
+          prev.sub_accel < cur.sub_accel ||
+          (prev.sub_accel == cur.sub_accel &&
+           (models::task_index(prev.task) < models::task_index(cur.task) ||
+            (prev.task == cur.task && prev.frame < cur.frame)));
+      EXPECT_TRUE(ordered) << "unordered tie at start_ms=" << cur.start_ms;
+    }
+  }
+  EXPECT_TRUE(any_tie) << "scenario produced no equal-start timeline entries;"
+                          " the tie-break is untested";
+}
+
+TEST_F(RunnerTest, DataDependentFpsMismatchIsRejected) {
+  // A data-dependent model is requested once per upstream completion; a
+  // target_fps different from the upstream's rate would silently skew its
+  // QoE denominator, so the preflight check rejects it.
+  workload::UsageScenario bad = scenario_by_name("VR Gaming");
+  for (auto& m : bad.models) {
+    if (m.task == TaskId::kGE) m.target_fps = 30.0;  // ES runs at 60
+  }
+  EXPECT_THROW(run('A', 8192, bad), std::invalid_argument);
+}
+
 TEST_F(RunnerTest, TimelineMatchesExecutedRecords) {
   const auto r = run('D', 8192, scenario_by_name("AR Gaming"));
   std::size_t executed = 0;

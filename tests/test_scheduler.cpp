@@ -130,6 +130,28 @@ TEST_F(SchedulerTest, RoundRobinPicksOldestFrameWithinTask) {
   EXPECT_EQ(pending_[a->request_index].frame, 2);
 }
 
+TEST_F(SchedulerTest, RoundRobinEqualFrameTieIsPendingOrderInvariant) {
+  // Two same-task requests with equal frame indices but distinct deadlines:
+  // the scheduler contract (scheduler.h) requires the decision to be
+  // invariant under any permutation of the swap-remove-compacted pending
+  // vector, so the tie must resolve on request attributes (earlier
+  // deadline), not on vector position.
+  const auto early = req(TaskId::kHT, 7, 1.0, 20.0);
+  const auto late = req(TaskId::kHT, 7, 1.0, 30.0);
+
+  pending_ = {late, early};
+  RoundRobinScheduler s1;
+  const auto a = s1.pick(ctx());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(pending_[a->request_index].tdl_ms, 20.0);
+
+  pending_ = {early, late};
+  RoundRobinScheduler s2;
+  const auto b = s2.pick(ctx());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(pending_[b->request_index].tdl_ms, 20.0);
+}
+
 TEST_F(SchedulerTest, SlackAwarePrefersFeasibleRequests) {
   now_ = 0.0;
   // PD cannot meet a 5 ms deadline anywhere; HT can meet 30 ms easily.

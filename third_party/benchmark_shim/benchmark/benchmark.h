@@ -1,0 +1,216 @@
+#pragma once
+
+// Minimal vendored stand-in for google-benchmark, used when the system
+// library is absent so bench_microbench always builds (CI included). It
+// implements only the surface the repo's microbenchmarks use:
+//
+//   BENCHMARK(fn)->Arg(n)->DenseRange(lo, hi);
+//   BENCHMARK_MAIN();
+//   for (auto _ : state) { ... }
+//   state.range(i), state.SetLabel(...), benchmark::DoNotOptimize(...)
+//
+// Timing model: each benchmark body is re-run with a doubling iteration
+// count until it has consumed at least the --benchmark_min_time budget
+// (default 0.1 s), then mean ns/iteration is reported. No statistics,
+// counters, JSON output, or thread support — install google-benchmark for
+// the real harness; results from this shim are indicative only.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+#if defined(__GNUC__) || defined(__clang__)
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <typename T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+#else
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+  // Fallback: escape through a volatile pointer write.
+  static volatile const void* sink;
+  sink = &value;
+  (void)sink;
+}
+#endif
+
+inline void ClobberMemory() {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : : "memory");
+#endif
+}
+
+class State {
+ public:
+  State(std::int64_t iterations, std::vector<std::int64_t> args)
+      : iterations_(iterations), args_(std::move(args)) {}
+
+  /// Iterates exactly `iterations_` times; the harness times the whole loop.
+  class iterator {
+   public:
+    explicit iterator(std::int64_t remaining) : remaining_(remaining) {}
+    bool operator!=(const iterator& o) const {
+      return remaining_ != o.remaining_;
+    }
+    iterator& operator++() {
+      --remaining_;
+      return *this;
+    }
+    struct Unit {};
+    Unit operator*() const { return {}; }
+
+   private:
+    std::int64_t remaining_;
+  };
+
+  iterator begin() { return iterator(iterations_); }
+  iterator end() { return iterator(0); }
+
+  std::int64_t range(std::size_t i = 0) const {
+    return i < args_.size() ? args_[i] : 0;
+  }
+
+  void SetLabel(const std::string& label) { label_ = label; }
+  const std::string& label() const { return label_; }
+  std::int64_t iterations() const { return iterations_; }
+
+ private:
+  std::int64_t iterations_;
+  std::vector<std::int64_t> args_;
+  std::string label_;
+};
+
+using Function = void (*)(State&);
+
+class Benchmark;
+inline std::vector<Benchmark*>& registry() {
+  static std::vector<Benchmark*> benches;
+  return benches;
+}
+
+class Benchmark {
+ public:
+  Benchmark(const char* name, Function fn) : name_(name), fn_(fn) {
+    registry().push_back(this);
+  }
+
+  Benchmark* Arg(std::int64_t a) {
+    arg_sets_.push_back({a});
+    return this;
+  }
+
+  Benchmark* Args(std::vector<std::int64_t> as) {
+    arg_sets_.push_back(std::move(as));
+    return this;
+  }
+
+  Benchmark* DenseRange(std::int64_t lo, std::int64_t hi,
+                        std::int64_t step = 1) {
+    for (std::int64_t v = lo; v <= hi; v += step) arg_sets_.push_back({v});
+    return this;
+  }
+
+  const char* name() const { return name_; }
+  Function fn() const { return fn_; }
+  const std::vector<std::vector<std::int64_t>>& arg_sets() const {
+    return arg_sets_;
+  }
+
+ private:
+  const char* name_;
+  Function fn_;
+  std::vector<std::vector<std::int64_t>> arg_sets_;
+};
+
+inline double& min_time() {
+  static double t = 0.1;  // seconds, as google-benchmark's default order
+  return t;
+}
+
+inline void Initialize(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--benchmark_min_time=", 21) == 0) {
+      // Accepts plain seconds ("0.05") and google-benchmark 1.8's "0.05s".
+      min_time() = std::strtod(a + 21, nullptr);
+      if (min_time() <= 0.0) min_time() = 0.1;
+    } else if (std::strncmp(a, "--benchmark_", 12) == 0) {
+      // Other benchmark flags are accepted and ignored.
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+inline void run_one(const Benchmark& bench,
+                    const std::vector<std::int64_t>& args) {
+  using clock = std::chrono::steady_clock;
+  std::string name = bench.name();
+  for (std::int64_t a : args) name += "/" + std::to_string(a);
+
+  std::int64_t iters = 1;
+  double elapsed_s = 0.0;
+  std::string label;
+  for (;;) {
+    State state(iters, args);
+    const auto t0 = clock::now();
+    bench.fn()(state);
+    elapsed_s = std::chrono::duration<double>(clock::now() - t0).count();
+    label = state.label();
+    if (elapsed_s >= min_time() || iters >= (1ll << 30)) break;
+    // Aim past the budget with headroom; at least double.
+    const double target =
+        elapsed_s > 0.0 ? 1.4 * min_time() / elapsed_s * iters : iters * 8.0;
+    iters = std::max<std::int64_t>(iters * 2, static_cast<std::int64_t>(target));
+  }
+  const double ns = elapsed_s * 1e9 / static_cast<double>(iters);
+  std::printf("%-40s %12.1f ns %12lld iters", name.c_str(), ns,
+              static_cast<long long>(iters));
+  if (!label.empty()) std::printf("  %s", label.c_str());
+  std::printf("\n");
+}
+
+inline int RunSpecifiedBenchmarks() {
+  std::printf("(vendored benchmark shim — install google-benchmark for the "
+              "full harness)\n");
+  std::printf("%-40s %15s %18s\n", "Benchmark", "Time", "Iterations");
+  std::printf("%s\n", std::string(75, '-').c_str());
+  for (const Benchmark* b : registry()) {
+    if (b->arg_sets().empty()) {
+      run_one(*b, {});
+    } else {
+      for (const auto& args : b->arg_sets()) run_one(*b, args);
+    }
+  }
+  return 0;
+}
+
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+#define BENCHMARK_SHIM_CONCAT2(a, b) a##b
+#define BENCHMARK_SHIM_CONCAT(a, b) BENCHMARK_SHIM_CONCAT2(a, b)
+#define BENCHMARK(fn)                                          \
+  static ::benchmark::Benchmark* BENCHMARK_SHIM_CONCAT(        \
+      benchmark_shim_reg_, __LINE__) = (new ::benchmark::Benchmark(#fn, fn))
+
+#define BENCHMARK_MAIN()                         \
+  int main(int argc, char** argv) {              \
+    ::benchmark::Initialize(&argc, argv);        \
+    return ::benchmark::RunSpecifiedBenchmarks(); \
+  }
