@@ -1,0 +1,134 @@
+// Sweep-throughput scaling over the Table-5 design family.
+//
+// Runs the full (design x scenario x trial) suite sweep — the shape behind
+// Table 5 and the Pareto cascade — at several SweepEngine worker counts and
+// reports trial jobs/sec plus speedup over the 1-thread baseline into
+// BENCH_sweep_scaling.json, together with the layer-cost memo hit rate.
+// This is the bench that turns the ROADMAP's ">= Nx on real parallel
+// hardware" from an assertion into a measurement.
+//
+// Output contract (CI relies on it):
+//   stdout — the deterministic score report only. Byte-identical for every
+//            worker count (the sweep engine's serial/parallel contract), so
+//            CI diffs stdout across XRBENCH_THREADS values.
+//   stderr — throughput/timing lines (inherently nondeterministic).
+//
+// XRBENCH_THREADS, when set, replaces the default {1, 2, 4, 8} sweep with
+// that single worker count (0 = inline serial baseline).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/sweep.h"
+#include "hw/accelerator.h"
+#include "util/bench_json.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/scenario.h"
+
+using namespace xrbench;
+
+namespace {
+
+std::vector<core::SweepPoint> table5_points() {
+  core::HarnessOptions opt;
+  // Short runs, several dynamic trials: thousands of sub-millisecond jobs,
+  // exactly the regime where queue overhead used to dominate.
+  opt.run.duration_ms = 500.0;
+  opt.dynamic_trials = 8;
+  std::vector<core::SweepPoint> points;
+  for (char id : hw::accelerator_ids()) {
+    points.push_back({std::string(1, id) + "@4096",
+                      hw::make_accelerator(id, 4096), opt});
+  }
+  return points;
+}
+
+std::int64_t count_trial_jobs(const std::vector<core::SweepPoint>& points) {
+  const auto& suite = workload::benchmark_suite();
+  std::int64_t jobs = 0;
+  for (const auto& point : points) {
+    for (const auto& scenario : suite) {
+      jobs += workload::is_dynamic_scenario(scenario)
+                  ? std::max(1, point.options.dynamic_trials)
+                  : 1;
+    }
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main() {
+  util::BenchJson bench("sweep_scaling");
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  if (std::getenv("XRBENCH_THREADS") != nullptr) {
+    thread_counts = {util::ThreadPool::default_num_threads()};
+  }
+
+  const auto points = table5_points();
+  const std::int64_t jobs = count_trial_jobs(points);
+  bench.set_runs(jobs * static_cast<std::int64_t>(thread_counts.size()));
+
+  std::vector<core::BenchmarkOutcome> reference;
+  double base_jobs_per_sec = 0.0;
+  for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+    const std::size_t n = thread_counts[ti];
+    core::SweepEngine engine(n);
+    const double t0 = bench.elapsed_ms();
+    auto outcomes = engine.run_suite_points(points);
+    const double sweep_ms = bench.elapsed_ms() - t0;
+    const double jobs_per_sec =
+        sweep_ms > 0.0 ? static_cast<double>(jobs) / (sweep_ms / 1000.0) : 0.0;
+    if (ti == 0) base_jobs_per_sec = jobs_per_sec;
+
+    const auto memo = engine.memo_stats();
+    const std::string suffix = "_t" + std::to_string(n);
+    bench.add_metric("sweep_ms" + suffix, sweep_ms);
+    bench.add_metric("jobs_per_sec" + suffix, jobs_per_sec);
+    bench.add_metric("speedup" + suffix, base_jobs_per_sec > 0.0
+                                             ? jobs_per_sec / base_jobs_per_sec
+                                             : 0.0);
+    bench.add_metric("memo_hit_rate" + suffix, memo.hit_rate());
+    std::cerr << "threads=" << n << "  sweep_ms=" << sweep_ms
+              << "  jobs_per_sec=" << jobs_per_sec
+              << "  memo_hit_rate=" << memo.hit_rate() << "\n";
+
+    if (reference.empty()) {
+      reference = std::move(outcomes);
+      continue;
+    }
+    // The determinism contract, self-checked across worker counts: every
+    // score must be bit-identical to the first configuration's.
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (outcomes[p].score.overall != reference[p].score.overall ||
+          outcomes[p].score.realtime != reference[p].score.realtime ||
+          outcomes[p].score.energy != reference[p].score.energy ||
+          outcomes[p].score.qoe != reference[p].score.qoe) {
+        std::cerr << "DETERMINISM VIOLATION: point " << points[p].label
+                  << " differs at " << n << " threads\n";
+        return 1;
+      }
+    }
+  }
+
+  bench.add_metric("trial_jobs", static_cast<double>(jobs));
+  bench.add_metric("design_points", static_cast<double>(points.size()));
+
+  // Deterministic report (stdout): one score table for the whole family.
+  std::cout << "=== Sweep scaling: Table-5 family, full suite ===\n\n";
+  util::TablePrinter table(
+      {"Design", "Overall", "Realtime", "Energy", "QoE"});
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    table.add_row({points[p].label, util::fmt_double(reference[p].score.overall),
+                   util::fmt_double(reference[p].score.realtime),
+                   util::fmt_double(reference[p].score.energy),
+                   util::fmt_double(reference[p].score.qoe)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -34,12 +34,27 @@ ScenarioScore score_scenario(const runtime::ScenarioRunResult& run,
     m.deadline_misses = mstats.deadline_misses;
     m.qoe = qoe_score(mstats.frames_executed, mstats.frames_expected);
 
+    // Stream the SoA columns directly: no per-record temporaries, one
+    // byte-wide branch column, and the accuracy factor (constant per model)
+    // multiplied in without re-deriving it per record. The accumulation
+    // order and arithmetic match the former AoS loop exactly —
+    // inference_score(rec) == rt * en * acc with the same left-to-right
+    // products — so scores stay bit-identical.
+    const runtime::RecordStore& recs = mstats.records;
+    const auto& dropped = recs.dropped();
+    const auto& treq = recs.treq_ms();
+    const auto& tdl = recs.tdl_ms();
+    const auto& complete = recs.complete_ms();
+    const auto& energy = recs.energy_mj();
     util::RunningStats rt_stats, en_stats, inf_stats;
-    for (const auto& rec : mstats.records) {
-      if (rec.dropped) continue;
-      rt_stats.add(rt_score(rec.latency_ms(), rec.slack_ms(), config.k));
-      en_stats.add(energy_score(rec.energy_mj, config.enmax_mj));
-      inf_stats.add(inference_score(rec, goal, config));
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (dropped[i] != 0) continue;
+      const double latency_ms = complete[i] - treq[i];
+      const double rt = rt_score(latency_ms, tdl[i] - treq[i], config.k);
+      const double en = energy_score(energy[i], config.enmax_mj);
+      rt_stats.add(rt);
+      en_stats.add(en);
+      inf_stats.add(rt * en * m.accuracy);
     }
     // "If all the frames are dropped, the score is defined to be zero."
     m.rt = rt_stats.empty() ? 0.0 : rt_stats.mean();

@@ -1,9 +1,12 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "util/csv.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace xrbench::core {
@@ -11,6 +14,27 @@ namespace xrbench::core {
 using util::fmt_double;
 using util::fmt_percent;
 using util::TablePrinter;
+
+namespace {
+
+/// Executed-inference latency percentiles of one model's record store,
+/// streamed straight off the SoA columns. Report-time only: percentile
+/// extraction costs a sort, which has no business inside the per-trial
+/// scoring loop of a sweep.
+std::pair<double, double> latency_p50_p99(const runtime::RecordStore& recs) {
+  util::Percentiles latency;
+  latency.reserve(recs.size());
+  const auto* dropped = recs.dropped();
+  const auto* treq = recs.treq_ms();
+  const auto* complete = recs.complete_ms();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (dropped[i] == 0) latency.add(complete[i] - treq[i]);
+  }
+  latency.seal();
+  return {latency.percentile(50.0), latency.percentile(99.0)};
+}
+
+}  // namespace
 
 void print_benchmark_report(std::ostream& os,
                             const BenchmarkOutcome& outcome) {
@@ -37,15 +61,22 @@ void print_scenario_report(std::ostream& os, const ScenarioOutcome& outcome) {
   os << "Scenario: " << sc.scenario_name << "  (trials: " << outcome.trials
      << ")\n";
   TablePrinter table({"Model", "FPS ok/total", "Drops", "Late", "Rt", "En",
-                      "Acc", "QoE", "Model x QoE"});
+                      "Acc", "QoE", "Model x QoE", "p50 ms", "p99 ms"});
   for (const auto& m : sc.models) {
+    // Tail latencies come from the final trial's raw records (the scores
+    // above are trial averages; the percentiles are a last-run diagnostic).
+    double p50 = 0.0, p99 = 0.0;
+    if (const auto* stats = outcome.last_run.find(m.task)) {
+      std::tie(p50, p99) = latency_p50_p99(stats->records);
+    }
     table.add_row({models::task_code(m.task),
                    std::to_string(m.frames_executed) + "/" +
                        std::to_string(m.frames_expected),
                    std::to_string(m.frames_dropped),
                    std::to_string(m.deadline_misses), fmt_double(m.rt),
                    fmt_double(m.energy), fmt_double(m.accuracy),
-                   fmt_double(m.qoe), fmt_double(m.combined)});
+                   fmt_double(m.qoe), fmt_double(m.combined),
+                   fmt_double(p50, 2), fmt_double(p99, 2)});
   }
   table.print(os);
   os << "Scenario score: " << fmt_double(sc.overall)
@@ -87,17 +118,21 @@ void write_inference_log_csv(const std::filesystem::path& path,
               "complete_ms", "latency_ms", "energy_mj", "sub_accel",
               "dropped", "missed_deadline"});
   for (const auto& m : run.per_model) {
-    for (const auto& rec : m.records) {
-      csv.row({models::task_code(rec.task), util::CsvWriter::cell(rec.frame),
-               util::CsvWriter::cell(rec.treq_ms),
-               util::CsvWriter::cell(rec.tdl_ms),
-               util::CsvWriter::cell(rec.dropped ? 0.0 : rec.dispatch_ms),
-               util::CsvWriter::cell(rec.dropped ? 0.0 : rec.complete_ms),
-               util::CsvWriter::cell(rec.dropped ? 0.0 : rec.latency_ms()),
-               util::CsvWriter::cell(rec.energy_mj),
-               util::CsvWriter::cell(rec.sub_accel),
-               rec.dropped ? "1" : "0",
-               rec.missed_deadline() ? "1" : "0"});
+    // Stream the store's columns; the per-record AoS materialization is for
+    // spot reads, not row-by-row export.
+    const auto& recs = m.records;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      const bool dropped = recs.dropped()[i] != 0;
+      csv.row({models::task_code(recs.task()[i]),
+               util::CsvWriter::cell(recs.frame()[i]),
+               util::CsvWriter::cell(recs.treq_ms()[i]),
+               util::CsvWriter::cell(recs.tdl_ms()[i]),
+               util::CsvWriter::cell(dropped ? 0.0 : recs.dispatch_ms()[i]),
+               util::CsvWriter::cell(dropped ? 0.0 : recs.complete_ms()[i]),
+               util::CsvWriter::cell(dropped ? 0.0 : recs.latency_ms(i)),
+               util::CsvWriter::cell(recs.energy_mj()[i]),
+               util::CsvWriter::cell(recs.sub_accel()[i]),
+               dropped ? "1" : "0", recs.missed_deadline(i) ? "1" : "0"});
     }
   }
 }

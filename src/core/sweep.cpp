@@ -1,10 +1,23 @@
 #include "core/sweep.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace xrbench::core {
 
 namespace {
+
+/// Trials per batched task: trials / (threads * kChunksPerThread), floored
+/// at 1. Small enough that every worker gets several chunks to steal (load
+/// balance), large enough that a sub-millisecond trial stops paying one
+/// queue round-trip per trial. Inline pools get one chunk — there is no
+/// queue to amortize.
+std::size_t trial_chunk(int trials, std::size_t threads) {
+  constexpr std::size_t kChunksPerThread = 4;
+  if (threads == 0) return static_cast<std::size_t>(std::max(1, trials));
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(trials) / (threads * kChunksPerThread));
+}
 
 bool same_energy(const costmodel::EnergyParams& a,
                  const costmodel::EnergyParams& b) {
@@ -128,20 +141,30 @@ std::vector<BenchmarkOutcome> SweepEngine::run_suite_points(
   for (std::size_t p = 0; p < points.size(); ++p) {
     // One table-build job per point; it fans the point's trial jobs out as
     // soon as its cost table exists, so table builds and trials overlap
-    // across points.
+    // across points. Trials are chunked into batch tasks (see trial_chunk)
+    // and enqueued with a single submit_batch — each trial still writes its
+    // own submission-order slot, so chunking never changes a result.
     pool_.submit([this, &points, &work, &suite, p] {
       const SweepPoint& point = points[p];
       auto& pw = work[p];
       pw.table = std::make_unique<runtime::CostTable>(
           point.system, model_for(point.options.energy));
+      std::vector<util::Task> batch;
       for (std::size_t s = 0; s < suite.size(); ++s) {
-        for (int t = 0; t < pw.scenarios[s].trials; ++t) {
-          pool_.submit([&points, &work, &suite, p, s, t] {
-            run_trial(points[p].system, *work[p].table, suite[s],
-                      points[p].options, t, work[p].scenarios[s]);
+        const int trials = pw.scenarios[s].trials;
+        const auto chunk =
+            static_cast<int>(trial_chunk(trials, pool_.num_threads()));
+        for (int t0 = 0; t0 < trials; t0 += chunk) {
+          const int t1 = std::min(trials, t0 + chunk);
+          batch.push_back([&points, &work, &suite, p, s, t0, t1] {
+            for (int t = t0; t < t1; ++t) {
+              run_trial(points[p].system, *work[p].table, suite[s],
+                        points[p].options, t, work[p].scenarios[s]);
+            }
           });
         }
       }
+      pool_.submit_batch(std::move(batch));
     });
   }
   pool_.wait_idle();
@@ -205,14 +228,22 @@ std::vector<ScenarioOutcome> SweepEngine::run_scenario_points(
       const std::size_t rep = group.members.front();
       group.table = std::make_unique<runtime::CostTable>(
           points[rep].system, model_for(points[rep].options.energy));
+      std::vector<util::Task> batch;
       for (std::size_t p : group.members) {
-        for (int t = 0; t < work[p].trials; ++t) {
-          pool_.submit([&points, &work, &groups, gi, p, t] {
-            run_trial(points[p].system, *groups[gi].table, points[p].scenario,
-                      points[p].options, t, work[p]);
+        const int trials = work[p].trials;
+        const auto chunk =
+            static_cast<int>(trial_chunk(trials, pool_.num_threads()));
+        for (int t0 = 0; t0 < trials; t0 += chunk) {
+          const int t1 = std::min(trials, t0 + chunk);
+          batch.push_back([&points, &work, &groups, gi, p, t0, t1] {
+            for (int t = t0; t < t1; ++t) {
+              run_trial(points[p].system, *groups[gi].table,
+                        points[p].scenario, points[p].options, t, work[p]);
+            }
           });
         }
       }
+      pool_.submit_batch(std::move(batch));
     });
   }
   pool_.wait_idle();
@@ -227,14 +258,36 @@ std::vector<std::unique_ptr<runtime::CostTable>> SweepEngine::build_cost_tables(
     const std::vector<hw::AcceleratorSystem>& systems,
     const costmodel::AnalyticalCostModel& cost_model) {
   std::vector<std::unique_ptr<runtime::CostTable>> tables(systems.size());
+  std::vector<util::Task> batch;
+  batch.reserve(systems.size());
   for (std::size_t i = 0; i < systems.size(); ++i) {
-    pool_.submit([&systems, &cost_model, &tables, i] {
+    batch.push_back([&systems, &cost_model, &tables, i] {
       tables[i] =
           std::make_unique<runtime::CostTable>(systems[i], cost_model);
     });
   }
+  pool_.submit_batch(std::move(batch));
   pool_.wait_idle();
   return tables;
+}
+
+costmodel::MemoStats SweepEngine::memo_stats() const {
+  costmodel::MemoStats total;
+  std::unique_lock lock(models_mutex_);
+  for (const auto& [params, model] : models_) {
+    const auto s = model->memo_stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.inserts += s.inserts;
+    total.entries += s.entries;
+    if (total.shard_entries.size() < s.shard_entries.size()) {
+      total.shard_entries.resize(s.shard_entries.size(), 0);
+    }
+    for (std::size_t i = 0; i < s.shard_entries.size(); ++i) {
+      total.shard_entries[i] += s.shard_entries[i];
+    }
+  }
+  return total;
 }
 
 }  // namespace xrbench::core

@@ -30,13 +30,14 @@ struct ScenarioSweepPoint {
 /// Parallel evaluation engine for accelerator/scenario sweeps.
 ///
 /// Fans (config x scenario x trial) evaluation jobs out over a worker pool:
-/// each design point gets one CostTable build job, then every trial of
-/// every scenario becomes an independent job with its own ScenarioRunner,
+/// each design point gets one CostTable build job, then its trials are
+/// chunked into batch tasks (~4 chunks per worker, submitted with one
+/// submit_batch call) where every trial gets its own ScenarioRunner,
 /// scheduler instance and deterministic per-trial seed (options.run.seed +
 /// trial). Results land in pre-sized slots indexed by submission order and
 /// are reduced in that same order, so the output is bit-identical to a
-/// serial run of the Harness — the worker count only changes wall-clock
-/// time, never a score.
+/// serial run of the Harness — the worker count and chunking only change
+/// wall-clock time, never a score.
 ///
 /// Thread count: pass the worker count explicitly, or use the default
 /// constructor for "auto" (XRBENCH_THREADS env var when set, else hardware
@@ -74,6 +75,11 @@ class SweepEngine {
       const std::vector<hw::AcceleratorSystem>& systems,
       const costmodel::AnalyticalCostModel& cost_model);
 
+  /// Layer-cost memo counters aggregated over every cost model this engine
+  /// has instantiated (hit-rate telemetry for bench_sweep_scaling). Call
+  /// after the sweep returns; mid-flight values are approximate.
+  costmodel::MemoStats memo_stats() const;
+
  private:
   /// Shared cost model for a point's energy constants. Points with equal
   /// EnergyParams share one model instance (and so its LayerCost memo),
@@ -85,7 +91,7 @@ class SweepEngine {
   std::vector<std::pair<costmodel::EnergyParams,
                         std::unique_ptr<costmodel::AnalyticalCostModel>>>
       models_;
-  std::mutex models_mutex_;
+  mutable std::mutex models_mutex_;
 };
 
 }  // namespace xrbench::core

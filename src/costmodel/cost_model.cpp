@@ -15,8 +15,26 @@ std::int64_t bounded(std::int64_t dim, std::int64_t budget) {
   return std::max<std::int64_t>(1, std::min(dim, budget));
 }
 
+/// Finalizer-grade 64-bit mixer (splitmix64). The memo key fields are tiny
+/// integers (PE counts, layer dims) whose raw bits cluster in the low byte;
+/// the combine below accumulates them cheaply (one xor-multiply per field —
+/// this sits on the memo hit path, so no per-field avalanche chains) and a
+/// single splitmix64 finalizer spreads the accumulated entropy across all
+/// 64 bits. Without the finalizer a PE-count sweep lands whole key families
+/// in a handful of shards/buckets.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 std::size_t hash_combine(std::size_t seed, std::size_t v) {
-  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  // Polynomial accumulation with an odd multiplier (FNV-style): the
+  // multiply shifts every prior field's bits upward so small integers in
+  // successive fields never cancel; avalanching is deferred to the single
+  // splitmix64 finalizer in make_key.
+  return (seed ^ v) * 0x9e3779b97f4a7c15ULL;
 }
 
 std::size_t hash_double(double d) {
@@ -63,31 +81,13 @@ AnalyticalCostModel& AnalyticalCostModel::operator=(
 
 bool AnalyticalCostModel::LayerCostKey::operator==(
     const LayerCostKey& o) const {
-  return op_type == o.op_type && k == o.k && c == o.c && y == o.y &&
-         x == o.x && r == o.r && s == o.s && elems == o.elems &&
+  // hash first: a one-word reject covers almost every bucket collision.
+  return hash == o.hash && op_type == o.op_type && k == o.k && c == o.c &&
+         y == o.y && x == o.x && r == o.r && s == o.s && elems == o.elems &&
          dataflow == o.dataflow && num_pes == o.num_pes &&
          sram_bytes == o.sram_bytes && clock_ghz == o.clock_ghz &&
          noc_bytes_per_cycle == o.noc_bytes_per_cycle &&
          offchip_bytes_per_cycle == o.offchip_bytes_per_cycle;
-}
-
-std::size_t AnalyticalCostModel::LayerCostKeyHash::operator()(
-    const LayerCostKey& key) const {
-  std::size_t h = static_cast<std::size_t>(key.op_type);
-  h = hash_combine(h, static_cast<std::size_t>(key.k));
-  h = hash_combine(h, static_cast<std::size_t>(key.c));
-  h = hash_combine(h, static_cast<std::size_t>(key.y));
-  h = hash_combine(h, static_cast<std::size_t>(key.x));
-  h = hash_combine(h, static_cast<std::size_t>(key.r));
-  h = hash_combine(h, static_cast<std::size_t>(key.s));
-  h = hash_combine(h, static_cast<std::size_t>(key.elems));
-  h = hash_combine(h, static_cast<std::size_t>(key.dataflow));
-  h = hash_combine(h, static_cast<std::size_t>(key.num_pes));
-  h = hash_combine(h, static_cast<std::size_t>(key.sram_bytes));
-  h = hash_combine(h, hash_double(key.clock_ghz));
-  h = hash_combine(h, hash_double(key.noc_bytes_per_cycle));
-  h = hash_combine(h, hash_double(key.offchip_bytes_per_cycle));
-  return h;
 }
 
 AnalyticalCostModel::LayerCostKey AnalyticalCostModel::make_key(
@@ -107,17 +107,67 @@ AnalyticalCostModel::LayerCostKey AnalyticalCostModel::make_key(
   key.clock_ghz = accel.clock_ghz;
   key.noc_bytes_per_cycle = accel.noc_bytes_per_cycle;
   key.offchip_bytes_per_cycle = accel.offchip_bytes_per_cycle;
+  std::size_t h = static_cast<std::size_t>(key.op_type);
+  h = hash_combine(h, static_cast<std::size_t>(key.k));
+  h = hash_combine(h, static_cast<std::size_t>(key.c));
+  h = hash_combine(h, static_cast<std::size_t>(key.y));
+  h = hash_combine(h, static_cast<std::size_t>(key.x));
+  h = hash_combine(h, static_cast<std::size_t>(key.r));
+  h = hash_combine(h, static_cast<std::size_t>(key.s));
+  h = hash_combine(h, static_cast<std::size_t>(key.elems));
+  h = hash_combine(h, static_cast<std::size_t>(key.dataflow));
+  h = hash_combine(h, static_cast<std::size_t>(key.num_pes));
+  h = hash_combine(h, static_cast<std::size_t>(key.sram_bytes));
+  h = hash_combine(h, hash_double(key.clock_ghz));
+  h = hash_combine(h, hash_double(key.noc_bytes_per_cycle));
+  h = hash_combine(h, hash_double(key.offchip_bytes_per_cycle));
+  key.hash = static_cast<std::size_t>(splitmix64(h));
   return key;
 }
 
+std::size_t AnalyticalCostModel::shard_index(std::size_t hash) {
+  static_assert((kMemoShards & (kMemoShards - 1)) == 0,
+                "kMemoShards must be a power of two");
+  // Fibonacci fold, then take the top bits: the map's buckets consume the
+  // low bits of the same hash, so shard choice must come from elsewhere.
+  const std::uint64_t folded =
+      static_cast<std::uint64_t>(hash) * 0x9e3779b97f4a7c15ULL;
+  constexpr unsigned kShardBits = 4;  // log2(kMemoShards)
+  static_assert((1u << kShardBits) == kMemoShards, "shard bits mismatch");
+  return static_cast<std::size_t>(folded >> (64 - kShardBits));
+}
+
 std::size_t AnalyticalCostModel::memo_size() const {
-  std::shared_lock lock(memo_mutex_);
-  return memo_.size();
+  std::size_t total = 0;
+  for (const auto& shard : memo_shards_) {
+    std::shared_lock lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 void AnalyticalCostModel::clear_memo() const {
-  std::unique_lock lock(memo_mutex_);
-  memo_.clear();
+  for (auto& shard : memo_shards_) {
+    std::unique_lock lock(shard.mutex);
+    shard.map.clear();
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses = 0;
+    shard.inserts = 0;
+  }
+}
+
+MemoStats AnalyticalCostModel::memo_stats() const {
+  MemoStats stats;
+  stats.shard_entries.reserve(kMemoShards);
+  for (const auto& shard : memo_shards_) {
+    std::shared_lock lock(shard.mutex);
+    stats.hits += shard.hits.load(std::memory_order_relaxed);
+    stats.misses += shard.misses;
+    stats.inserts += shard.inserts;
+    stats.entries += shard.map.size();
+    stats.shard_entries.push_back(shard.map.size());
+  }
+  return stats;
 }
 
 SpatialMapping AnalyticalCostModel::spatial_mapping(
@@ -346,17 +396,27 @@ LayerCost AnalyticalCostModel::layer_cost(const Layer& layer,
                                 accel.id + "'");
   }
   const LayerCostKey key = make_key(layer, accel);
+  MemoShard& shard = memo_shards_[shard_index(key.hash)];
   {
-    std::shared_lock lock(memo_mutex_);
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Statistical counter: plain load+store instead of an atomic RMW.
+      // Concurrent hits on one shard can drop an increment (telemetry may
+      // undercount slightly); in exchange the hit path — by far the
+      // hottest memo path — pays no lock-prefixed instruction.
+      shard.hits.store(shard.hits.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+      return it->second;
+    }
   }
   // Compute outside the lock: a concurrent duplicate computation is cheaper
   // than serializing every miss behind a unique lock.
   LayerCost cost = compute_layer_cost(layer, accel);
   {
-    std::unique_lock lock(memo_mutex_);
-    memo_.emplace(key, cost);
+    std::unique_lock lock(shard.mutex);
+    ++shard.misses;
+    if (shard.map.emplace(key, cost).second) ++shard.inserts;
   }
   return cost;
 }

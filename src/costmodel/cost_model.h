@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -67,6 +69,26 @@ struct LayerCost {
   SpatialMapping mapping;
 };
 
+/// Aggregate counters of the layer-cost memo (all shards combined).
+/// hits + misses = total layer_cost() lookups; inserts can trail misses
+/// when two threads race on the same key (both compute, one emplace wins).
+/// The hit counter is statistical: concurrent hits on one shard may drop
+/// an increment (the hot path deliberately avoids an atomic RMW), so under
+/// parallel sweeps `hits` is a tight lower bound. Miss/insert counts are
+/// exact, and every count is exact for serial use.
+struct MemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::size_t entries = 0;
+  std::vector<std::size_t> shard_entries;  ///< Occupancy per shard.
+
+  double hit_rate() const {
+    const auto lookups = static_cast<double>(hits + misses);
+    return lookups == 0.0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
 /// Cost of a whole model (layer-sequential execution).
 struct ModelCost {
   double latency_ms = 0.0;
@@ -130,20 +152,38 @@ class AnalyticalCostModel {
   std::size_t memo_size() const;
   void clear_memo() const;
 
+  /// Hit/miss/insert counters plus per-shard occupancy, aggregated across
+  /// all shards. Miss/insert counts and entries are exact after the sweep
+  /// quiesces (e.g. past ThreadPool::wait_idle); the hit count is a tight
+  /// lower bound — concurrent hits on one shard can permanently drop an
+  /// increment (see MemoStats).
+  MemoStats memo_stats() const;
+
+  /// Shard count of the memo (power of two; shard = top bits of the key
+  /// hash). One shared_mutex per shard instead of one for the whole memo:
+  /// concurrent CostTable builds inside a sweep hit disjoint shards and
+  /// stop serializing on a single lock.
+  static constexpr std::size_t kMemoShards = 16;
+
  private:
   /// Memo key: everything layer_cost() depends on other than the energy
   /// constants (fixed per model instance). Layer names are deliberately
   /// excluded — two layers with identical dims and type cost the same.
+  /// The mixed hash over all fields is precomputed once by make_key (it
+  /// feeds three consumers per lookup — shard choice, find, emplace — and
+  /// the per-field splitmix mixing is not free); LayerCostKeyHash just
+  /// reads it back.
   struct LayerCostKey {
     int op_type;
     std::int64_t k, c, y, x, r, s, elems;
     int dataflow;
     std::int64_t num_pes, sram_bytes;
     double clock_ghz, noc_bytes_per_cycle, offchip_bytes_per_cycle;
+    std::size_t hash = 0;  ///< Set by make_key; excluded from equality.
     bool operator==(const LayerCostKey& o) const;
   };
   struct LayerCostKeyHash {
-    std::size_t operator()(const LayerCostKey& key) const;
+    std::size_t operator()(const LayerCostKey& key) const { return key.hash; }
   };
 
   static LayerCostKey make_key(const Layer& layer,
@@ -160,12 +200,32 @@ class AnalyticalCostModel {
   LayerCost compute_layer_cost(const Layer& layer,
                                const SubAccelConfig& accel) const;
 
+  /// One memo shard: its own map, lock and counters. Lookups take the
+  /// shard's shared lock, inserts its unique lock (a rare duplicate
+  /// computation on a race is harmless — both threads computed the same
+  /// value, one emplace wins).
+  struct MemoShard {
+    /// Pre-sized past the first few rehash doublings: a cold CostTable
+    /// build inserts ~100+ entries per shard, and the early growth steps
+    /// dominated the sharded build's serial overhead.
+    MemoShard() { map.reserve(128); }
+    std::unordered_map<LayerCostKey, LayerCost, LayerCostKeyHash> map;
+    mutable std::shared_mutex mutex;
+    /// Written under the shared lock (concurrently) — atomic, lossy store.
+    std::atomic<std::uint64_t> hits{0};
+    /// Written only under the unique lock — plain fields, exact.
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  /// Shard of `hash`: the top bits, Fibonacci-folded first so the shard
+  /// index stays decorrelated from the map's bucket index (which consumes
+  /// the low bits).
+  static std::size_t shard_index(std::size_t hash);
+
   EnergyParams energy_;
-  /// Thread-safe LayerCost memo: concurrent CostTable builds inside a sweep
-  /// share one model instance; lookups take a shared lock, inserts a unique
-  /// one (a rare duplicate computation on a race is harmless).
-  mutable std::unordered_map<LayerCostKey, LayerCost, LayerCostKeyHash> memo_;
-  mutable std::shared_mutex memo_mutex_;
+  /// Thread-safe sharded LayerCost memo (see kMemoShards).
+  mutable std::array<MemoShard, kMemoShards> memo_shards_;
 };
 
 }  // namespace xrbench::costmodel

@@ -97,13 +97,8 @@ struct RunEngine {
     while (i < pending.size()) {
       if (pending[i].tdl_ms <= now) {
         auto& ms = stats[slot(pending[i].task)];
-        InferenceRecord rec;
-        rec.task = pending[i].task;
-        rec.frame = pending[i].frame;
-        rec.treq_ms = pending[i].treq_ms;
-        rec.tdl_ms = pending[i].tdl_ms;
-        rec.dropped = true;
-        ms.records.push_back(rec);
+        ms.records.append_dropped(pending[i].task, pending[i].frame,
+                                  pending[i].treq_ms, pending[i].tdl_ms);
         ++ms.frames_dropped;
         pending[i] = pending.back();
         pending.pop_back();
@@ -121,20 +116,14 @@ struct RunEngine {
 
     const std::size_t sl = slot(req.task);
     auto& ms = stats[sl];
-    InferenceRecord rec;
-    rec.task = req.task;
-    rec.frame = req.frame;
-    rec.treq_ms = req.treq_ms;
-    rec.tdl_ms = req.tdl_ms;
-    rec.sub_accel = static_cast<int>(sa);
-    rec.dvfs_level = static_cast<int>(level);
-    rec.dispatch_ms = start_ms;
-    rec.complete_ms = now;
-    rec.energy_mj = costs.energy_mj(req.task, sa, level) + baseline_mj[sl];
-    total_energy_mj += rec.energy_mj;
+    const double energy_mj =
+        costs.energy_mj(req.task, sa, level) + baseline_mj[sl];
+    total_energy_mj += energy_mj;
     ++ms.frames_executed;
-    if (rec.missed_deadline()) ++ms.deadline_misses;
-    ms.records.push_back(rec);
+    if (now > req.tdl_ms) ++ms.deadline_misses;
+    ms.records.append_executed(req.task, req.frame, req.treq_ms, req.tdl_ms,
+                               static_cast<int>(sa), static_cast<int>(level),
+                               start_ms, now, energy_mj);
     timeline.push_back(
         BusyInterval{static_cast<int>(sa), req.task, req.frame, start_ms, now});
 
@@ -350,14 +339,9 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   result.per_model.reserve(num_models);
   for (auto& ms : eng.stats) {
     // Same reasoning as the timeline sort: a frame index can repeat within
-    // one model's records, so break ties on the remaining attributes.
-    std::sort(ms.records.begin(), ms.records.end(),
-              [](const InferenceRecord& a, const InferenceRecord& b) {
-                if (a.frame != b.frame) return a.frame < b.frame;
-                if (a.treq_ms != b.treq_ms) return a.treq_ms < b.treq_ms;
-                if (a.dropped != b.dropped) return b.dropped;  // executed first
-                return a.dispatch_ms < b.dispatch_ms;
-              });
+    // one model's records, so break ties on the remaining attributes (the
+    // canonical comparator lives with the SoA store's permutation sort).
+    ms.records.sort_canonical();
     result.per_model.push_back(std::move(ms));
   }
   return result;

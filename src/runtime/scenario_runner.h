@@ -7,6 +7,7 @@
 #include "hw/accelerator.h"
 #include "runtime/cost_table.h"
 #include "runtime/governor.h"
+#include "runtime/record_store.h"
 #include "runtime/request.h"
 #include "runtime/scheduler.h"
 #include "workload/scenario.h"
@@ -38,7 +39,9 @@ struct ModelRunStats {
   std::int64_t frames_executed = 0;
   std::int64_t frames_dropped = 0;
   std::int64_t deadline_misses = 0;  ///< Executed but finished late.
-  std::vector<InferenceRecord> records;
+  /// SoA record store; scoring streams its columns, everything else reads
+  /// it through the AoS-compatible operator[]/iterators.
+  RecordStore records;
 
   double qoe() const {
     return frames_expected == 0

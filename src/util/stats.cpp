@@ -56,17 +56,41 @@ double RunningStats::max() const {
 }
 
 void Percentiles::add(double x) {
-  samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), x), x);
+  // Appending to an already-sorted tail position keeps the set sealed (the
+  // common monotone-insert case costs nothing extra to detect).
+  if (sealed_ && !samples_.empty() && x < samples_.back()) sealed_ = false;
+  samples_.push_back(x);
 }
 
-double Percentiles::percentile(double p) const {
-  if (samples_.empty()) return 0.0;
+void Percentiles::seal() {
+  if (!sealed_) {
+    std::sort(samples_.begin(), samples_.end());
+    sealed_ = true;
+  }
+}
+
+namespace {
+
+double percentile_of_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double Percentiles::percentile(double p) const {
+  if (sealed_) return percentile_of_sorted(samples_, p);
+  // Unsealed read: sort a local copy. Correct and mutation-free (concurrent
+  // const reads stay race-free), just O(n log n) per query — producers that
+  // read repeatedly should seal() first.
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_of_sorted(sorted, p);
 }
 
 double mean_of(const std::vector<double>& xs) {

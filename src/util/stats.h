@@ -37,16 +37,35 @@ class RunningStats {
 /// Exact percentile over a stored sample set (used for tail-latency reports).
 /// Keeps all samples; prefer RunningStats when only moments are needed.
 ///
-/// Samples are kept sorted on insert, so percentile() is a genuinely const
-/// read — concurrent queries from sweep-result readers are safe (the former
-/// lazy sort mutated state under const, a data race). The binary-insert
-/// add() is O(n) per sample; right for the report-sized sample sets this
-/// class serves. If a million-sample producer ever appears, give it a
-/// bulk constructor that sorts once instead of reintroducing lazy
-/// const-mutation.
+/// add() is an O(1) amortized append (the former binary-insert was O(n) per
+/// sample — quadratic when the scorer feeds it every executed inference of
+/// a run); seal() sorts once. The mutex-free concurrency contract is kept:
+/// after seal(), percentile() touches no mutable state, so concurrent const
+/// reads from sweep-result readers are race-free. A read BEFORE seal() is
+/// still correct and still const — it sorts a local copy (O(n log n) per
+/// query, never a mutation; the lazy in-place sort this replaces was a data
+/// race under const). Producers should add(), seal(), then share.
 class Percentiles {
  public:
+  /// Appends a sample. Amortized O(1); un-seals the set.
   void add(double x);
+
+  /// Pre-sizes the sample buffer (hot producers know their record count).
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  /// Drops the samples but keeps the buffer: one accumulator can serve many
+  /// sample sets without re-allocating (the per-model scoring loop does).
+  void clear() {
+    samples_.clear();
+    sealed_ = true;
+  }
+
+  /// Sorts the accumulated samples once. Reads after seal() are O(1) index
+  /// math. Idempotent; called automatically by nothing — the producer owns
+  /// the moment of sealing.
+  void seal();
+  bool sealed() const { return sealed_; }
+
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
@@ -56,7 +75,8 @@ class Percentiles {
   double median() const { return percentile(50.0); }
 
  private:
-  std::vector<double> samples_;  ///< Always sorted ascending.
+  std::vector<double> samples_;  ///< Sorted ascending iff sealed_.
+  bool sealed_ = true;           ///< Empty set is trivially sorted.
 };
 
 /// Arithmetic mean of a vector; 0 for an empty vector.

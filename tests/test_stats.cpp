@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <limits>
@@ -108,34 +109,86 @@ TEST(Percentiles, AddAfterQueryStillSorted) {
   EXPECT_DOUBLE_EQ(p.percentile(0), 0.0);
 }
 
-TEST(Percentiles, ConcurrentConstReadsAreSafeAndConsistent) {
-  // Regression: percentile() used to lazily sort a mutable sample vector
-  // under const, a data race when sweep results are read from several
-  // threads. Samples are now kept sorted on insert, so concurrent const
-  // queries touch no mutable state. (Run under TSan to prove the absence
-  // of the race; this test at least exercises the pattern and checks that
-  // every thread sees identical values.)
+TEST(Percentiles, SealIsIdempotentAndReopenableByAdd) {
   Percentiles p;
-  for (int i = 999; i >= 0; --i) p.add(static_cast<double>(i));
+  for (double v : {5.0, 1.0, 3.0}) p.add(v);
+  EXPECT_FALSE(p.sealed());
+  p.seal();
+  EXPECT_TRUE(p.sealed());
+  p.seal();  // idempotent
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+  p.add(0.0);  // un-seals: 0 lands below the sorted front
+  EXPECT_FALSE(p.sealed());
+  EXPECT_DOUBLE_EQ(p.percentile(0), 0.0);  // unsealed read still correct
+  p.seal();
+  EXPECT_DOUBLE_EQ(p.percentile(0), 0.0);
+}
 
-  constexpr int kThreads = 8;
-  std::vector<std::array<double, 3>> results(kThreads);
-  std::vector<std::thread> threads;
-  threads.reserve(kThreads);
-  const Percentiles& view = p;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&view, &results, t] {
-      for (int rep = 0; rep < 100; ++rep) {
-        results[static_cast<std::size_t>(t)] = {
-            view.percentile(50), view.percentile(99), view.percentile(0)};
-      }
-    });
+TEST(Percentiles, MonotoneAppendsStaySealed) {
+  // The common producer (already-ordered latencies) never pays the sort.
+  Percentiles p;
+  for (int i = 0; i < 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_TRUE(p.sealed());
+  EXPECT_DOUBLE_EQ(p.percentile(100), 99.0);
+}
+
+TEST(Percentiles, InterleavedAddsAndReadsMatchBulkSort) {
+  // Regression for the accumulate-then-seal redesign: reads interleaved
+  // with appends must see exactly the percentile of everything added so
+  // far, as if the set had been sorted at that instant.
+  Percentiles p;
+  std::vector<double> so_far;
+  for (int i = 0; i < 200; ++i) {
+    const double v = std::sin(i * 0.7) * 100.0;  // unordered stream
+    p.add(v);
+    so_far.push_back(v);
+    if (i % 7 == 0) {
+      auto sorted = so_far;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_DOUBLE_EQ(p.percentile(0), sorted.front()) << "after " << i;
+      EXPECT_DOUBLE_EQ(p.percentile(100), sorted.back()) << "after " << i;
+      EXPECT_DOUBLE_EQ(p.median(), p.median()) << "read is repeatable";
+    }
   }
-  for (auto& th : threads) th.join();
-  for (const auto& r : results) {
-    EXPECT_DOUBLE_EQ(r[0], 499.5);
-    EXPECT_DOUBLE_EQ(r[1], 989.01);
-    EXPECT_DOUBLE_EQ(r[2], 0.0);
+  p.seal();
+  auto sorted = so_far;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(p.percentile(0), sorted.front());
+  EXPECT_DOUBLE_EQ(p.percentile(100), sorted.back());
+}
+
+TEST(Percentiles, ConcurrentConstReadsAreSafeAndConsistent) {
+  // Regression: percentile() once lazily sorted a mutable sample vector
+  // under const, a data race when sweep results are read from several
+  // threads. Sealed reads touch no mutable state; unsealed const reads
+  // sort a private copy. Both paths are exercised here — run under TSan to
+  // prove the absence of the race; this test at least checks every thread
+  // sees identical values.
+  for (const bool seal_first : {true, false}) {
+    Percentiles p;
+    for (int i = 999; i >= 0; --i) p.add(static_cast<double>(i));
+    if (seal_first) p.seal();
+
+    constexpr int kThreads = 8;
+    std::vector<std::array<double, 3>> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    const Percentiles& view = p;
+    const int reps = seal_first ? 100 : 10;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&view, &results, t, reps] {
+        for (int rep = 0; rep < reps; ++rep) {
+          results[static_cast<std::size_t>(t)] = {
+              view.percentile(50), view.percentile(99), view.percentile(0)};
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (const auto& r : results) {
+      EXPECT_DOUBLE_EQ(r[0], 499.5);
+      EXPECT_DOUBLE_EQ(r[1], 989.01);
+      EXPECT_DOUBLE_EQ(r[2], 0.0);
+    }
   }
 }
 

@@ -62,6 +62,52 @@ TEST(SweepEngine, ParallelSuiteIsBitIdenticalToSerial) {
   }
 }
 
+TEST(SweepEngine, MergeOrderByteIdenticalAcross1248Workers) {
+  // The work-stealing pool executes batches in a nondeterministic order;
+  // the submission-order result slots must erase that. Compare the full
+  // outcome byte pattern — every score, every record of every trial's last
+  // run — across 1/2/4/8 workers against the inline serial baseline.
+  const auto points = two_points();
+  SweepEngine serial(0);
+  const auto baseline = serial.run_suite_points(points);
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SweepEngine engine(workers);
+    const auto got = engine.run_suite_points(points);
+    ASSERT_EQ(got.size(), baseline.size()) << workers << " workers";
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      expect_identical(got[p], baseline[p]);
+      // Byte-level record comparison of the kept last runs.
+      ASSERT_EQ(got[p].scenarios.size(), baseline[p].scenarios.size());
+      for (std::size_t s = 0; s < got[p].scenarios.size(); ++s) {
+        const auto& ra = got[p].scenarios[s].last_run;
+        const auto& rb = baseline[p].scenarios[s].last_run;
+        ASSERT_EQ(ra.per_model.size(), rb.per_model.size());
+        for (std::size_t m = 0; m < ra.per_model.size(); ++m) {
+          const auto va = ra.per_model[m].records.view();
+          const auto vb = rb.per_model[m].records.view();
+          ASSERT_EQ(va.size(), vb.size()) << workers << " workers";
+          for (std::size_t r = 0; r < va.size(); ++r) {
+            // Exact equality on every field (memcmp would trip on struct
+            // padding): dispatch/complete/energy are the bits the
+            // determinism contract actually promises.
+            EXPECT_EQ(va[r].frame, vb[r].frame);
+            EXPECT_EQ(va[r].treq_ms, vb[r].treq_ms);
+            EXPECT_EQ(va[r].tdl_ms, vb[r].tdl_ms);
+            EXPECT_EQ(va[r].dropped, vb[r].dropped);
+            EXPECT_EQ(va[r].sub_accel, vb[r].sub_accel);
+            EXPECT_EQ(va[r].dvfs_level, vb[r].dvfs_level);
+            EXPECT_EQ(va[r].dispatch_ms, vb[r].dispatch_ms);
+            EXPECT_EQ(va[r].complete_ms, vb[r].complete_ms);
+            EXPECT_EQ(va[r].energy_mj, vb[r].energy_mj)
+                << workers << " workers, point " << p << ", scenario " << s
+                << ", model " << m << ", record " << r;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(SweepEngine, MatchesHarnessExactly) {
   const auto points = two_points();
   SweepEngine engine(4);
