@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/sweep.h"
+#include "runtime/policy_registry.h"
 #include "util/bench_json.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -31,13 +32,17 @@ int main() {
   const std::vector<std::string> scenario_names = {"Low-Power Wearable",
                                                    "Bursty Notification"};
 
+  // Every registered governor, straight from the PolicyRegistry — a policy
+  // registered at startup joins the ablation without touching this bench.
+  const auto governors = runtime::PolicyRegistry::instance().governor_names();
+
   std::vector<core::ScenarioSweepPoint> points;
   for (const auto& name : scenario_names) {
-    for (runtime::GovernorKind kind : runtime::all_governor_kinds()) {
+    for (const auto& governor : governors) {
       core::HarnessOptions opt;
-      opt.governor = kind;
+      opt.governor = governor;
       core::ScenarioSweepPoint point;
-      point.label = name + "/" + runtime::governor_kind_name(kind);
+      point.label = name + "/" + governor;
       point.system = system;
       point.options = opt;
       point.scenario = workload::scenario_by_name(name);
@@ -49,7 +54,7 @@ int main() {
   const auto outcomes = engine.run_scenario_points(points);
 
   std::int64_t total_runs = 0;
-  const std::size_t per_scenario = runtime::all_governor_kinds().size();
+  const std::size_t per_scenario = governors.size();
   for (std::size_t s = 0; s < scenario_names.size(); ++s) {
     std::cout << "=== DVFS governor sweep: " << scenario_names[s]
               << " on accelerator J (4K PEs, 5 V/f levels) ===\n\n";
@@ -59,8 +64,7 @@ int main() {
       const auto& point = points[s * per_scenario + g];
       const auto& out = outcomes[s * per_scenario + g];
       total_runs += out.trials;
-      const char* governor =
-          runtime::governor_kind_name(runtime::all_governor_kinds()[g]);
+      const std::string& governor = governors[g];
       table.add_row({governor, util::fmt_double(out.score.realtime),
                      util::fmt_double(out.score.energy),
                      util::fmt_double(out.score.qoe),

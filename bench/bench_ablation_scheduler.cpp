@@ -1,11 +1,14 @@
 // Ablation: scheduling policy. The paper ships a latency-greedy scheduler
 // for cost-model runs and a round-robin one for real systems, and invites
 // users to plug in their own (§3.5, Figure 2's yellow boxes). This bench
-// compares all four shipped policies on the two overloaded scenarios.
+// compares every registered scheduling policy on the two overloaded
+// scenarios — the policy list comes from the PolicyRegistry, so a scheduler
+// registered at startup joins the ablation without touching this bench.
 
 #include <iostream>
 
 #include "core/harness.h"
+#include "runtime/policy_registry.h"
 #include "util/bench_json.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -15,12 +18,8 @@ using namespace xrbench;
 int main() {
   util::BenchJson bench("ablation_scheduler");
   std::int64_t total_runs = 0;
-  const runtime::SchedulerKind kinds[] = {
-      runtime::SchedulerKind::kLatencyGreedy,
-      runtime::SchedulerKind::kRoundRobin,
-      runtime::SchedulerKind::kEdf,
-      runtime::SchedulerKind::kSlackAware,
-  };
+  const auto schedulers =
+      runtime::PolicyRegistry::instance().scheduler_names();
   util::CsvWriter csv("bench_output/ablation_scheduler.csv");
   csv.header({"scheduler", "accelerator", "total_pes", "scenario", "realtime",
               "energy", "qoe", "overall", "drop_rate"});
@@ -31,21 +30,21 @@ int main() {
                 << ", accelerator J, " << pes << " PEs ===\n\n";
       util::TablePrinter table(
           {"Scheduler", "Realtime", "Energy", "QoE", "Overall", "Drop rate"});
-      for (auto kind : kinds) {
+      for (const auto& scheduler : schedulers) {
         core::HarnessOptions opt;
-        opt.scheduler = kind;
+        opt.scheduler = scheduler;
         opt.dynamic_trials = 20;
         core::Harness harness(hw::make_accelerator('J', pes), opt);
         const auto out =
             harness.run_scenario(workload::scenario_by_name(scenario_name));
         total_runs += out.trials;
-        table.add_row({runtime::scheduler_kind_name(kind),
+        table.add_row({scheduler,
                        util::fmt_double(out.score.realtime),
                        util::fmt_double(out.score.energy),
                        util::fmt_double(out.score.qoe),
                        util::fmt_double(out.score.overall),
                        util::fmt_percent(out.score.frame_drop_rate)});
-        csv.row({runtime::scheduler_kind_name(kind), "J",
+        csv.row({scheduler, "J",
                  util::CsvWriter::cell(pes), scenario_name,
                  util::CsvWriter::cell(out.score.realtime),
                  util::CsvWriter::cell(out.score.energy),

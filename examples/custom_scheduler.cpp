@@ -10,6 +10,7 @@
 
 #include "core/harness.h"
 #include "runtime/cost_table.h"
+#include "runtime/policy_registry.h"
 #include "runtime/scenario_runner.h"
 #include "runtime/scheduler.h"
 #include "util/table.h"
@@ -74,18 +75,21 @@ core::ScenarioScore run_with(runtime::Scheduler& scheduler,
 }  // namespace
 
 int main() {
+  // Registering the policy makes it a first-class citizen everywhere names
+  // are accepted: HarnessOptions, sweep points, xrbench_cli --scheduler,
+  // and the registry-driven bench ablations.
+  runtime::PolicyRegistry::instance().register_scheduler(
+      "eye-first", [] { return std::make_unique<EyeFirstScheduler>(); });
+
   // A deliberately undersized chip so scheduling decisions matter.
   const auto system = hw::make_accelerator('G', 4096);
   std::cout << "Comparing schedulers on " << system.dataflow_desc
             << " running VR Gaming (45 FPS hand + 60 FPS eye pipeline)\n\n";
 
-  EyeFirstScheduler eye_first;
-  runtime::LatencyGreedyScheduler greedy;
-
   util::TablePrinter table({"Scheduler", "Realtime", "QoE", "Overall",
                             "ES QoE", "GE QoE", "HT QoE"});
-  for (runtime::Scheduler* sched :
-       std::initializer_list<runtime::Scheduler*>{&greedy, &eye_first}) {
+  for (const char* name : {"latency-greedy", "eye-first"}) {
+    const auto sched = runtime::PolicyRegistry::instance().make_scheduler(name);
     const auto score = run_with(*sched, system);
     auto qoe_of = [&score](models::TaskId t) {
       const auto* m = score.find(t);

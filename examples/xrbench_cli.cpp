@@ -7,8 +7,10 @@
 //     --hw-config <file.ini>    load a custom accelerator system instead
 //     --scenario <name>         run one Table-2 scenario (default: all)
 //     --scenario-config <file>  run a custom scenario from an INI file
-//     --scheduler <name>        latency-greedy | round-robin | edf |
-//                               slack-aware
+//     --program <name>          run a registered scenario program
+//     --program-config <file>   run a scenario program from an INI file
+//     --scheduler <name>        any registered scheduler (see --list-policies)
+//     --governor <name>         any registered DVFS governor
 //     --duration <ms>           run duration (default 1000)
 //     --trials <n>              trials for dynamic scenarios (default 20)
 //     --seed <n>                base seed (default 42)
@@ -17,10 +19,16 @@
 //     --k <val>                 real-time sigmoid steepness (default 15)
 //     --csv <file>              dump per-scenario scores to CSV
 //     --timeline                print execution timelines
+//     --list-policies           print registered schedulers/governors
+//
+// Program runs go through the SweepEngine, so XRBENCH_THREADS picks the
+// worker count — the report is byte-identical at any count.
 //
 // Examples:
 //   xrbench_cli --accel M --pes 8192
 //   xrbench_cli --scenario "AR Gaming" --scheduler edf --timeline
+//   xrbench_cli --program "Scenario Hand-Off" --governor deadline-aware
+//   xrbench_cli --program-config examples/configs/handoff_program.ini
 //   xrbench_cli --hw-config my_chip.ini --csv scores.csv
 
 #include <cstring>
@@ -30,7 +38,9 @@
 
 #include "core/harness.h"
 #include "core/report.h"
+#include "core/sweep.h"
 #include "hw/config_io.h"
+#include "runtime/policy_registry.h"
 #include "workload/scenario_io.h"
 
 using namespace xrbench;
@@ -44,12 +54,33 @@ namespace {
   std::exit(2);
 }
 
-runtime::SchedulerKind parse_scheduler(const std::string& name) {
-  if (name == "latency-greedy") return runtime::SchedulerKind::kLatencyGreedy;
-  if (name == "round-robin") return runtime::SchedulerKind::kRoundRobin;
-  if (name == "edf") return runtime::SchedulerKind::kEdf;
-  if (name == "slack-aware") return runtime::SchedulerKind::kSlackAware;
-  usage_error("unknown scheduler '" + name + "'");
+/// Registry-backed name checks: unknown policies fail fast at flag-parse
+/// time with the registered names in the message (the registry formats the
+/// list itself).
+std::string checked_scheduler(const std::string& name) {
+  runtime::PolicyRegistry::instance().make_scheduler(name);
+  return name;
+}
+
+std::string checked_governor(const std::string& name) {
+  runtime::PolicyRegistry::instance().make_governor(name);
+  return name;
+}
+
+void list_policies() {
+  const auto& registry = runtime::PolicyRegistry::instance();
+  std::cout << "Schedulers:\n";
+  for (const auto& name : registry.scheduler_names()) {
+    std::cout << "  " << name << "\n";
+  }
+  std::cout << "Governors:\n";
+  for (const auto& name : registry.governor_names()) {
+    std::cout << "  " << name << "\n";
+  }
+  std::cout << "Programs:\n";
+  for (const auto& program : workload::extension_programs()) {
+    std::cout << "  " << program.name << "\n";
+  }
 }
 
 }  // namespace
@@ -60,8 +91,12 @@ int main(int argc, char** argv) {
   std::optional<std::string> hw_config;
   std::optional<std::string> scenario_name;
   std::optional<std::string> scenario_config;
+  std::optional<std::string> program_name;
+  std::optional<std::string> program_config;
   std::optional<std::string> csv_path;
   bool timeline = false;
+  bool scheduler_flag = false;
+  bool governor_flag = false;
   core::HarnessOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -70,26 +105,65 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage_error("missing value for " + arg);
       return argv[++i];
     };
-    if (arg == "--accel") accel_id = next()[0];
-    else if (arg == "--pes") pes = std::stoll(next());
-    else if (arg == "--hw-config") hw_config = next();
-    else if (arg == "--scenario") scenario_name = next();
-    else if (arg == "--scenario-config") scenario_config = next();
-    else if (arg == "--scheduler") opt.scheduler = parse_scheduler(next());
-    else if (arg == "--duration") opt.run.duration_ms = std::stod(next());
-    else if (arg == "--trials") opt.dynamic_trials = std::stoi(next());
-    else if (arg == "--seed") opt.run.seed = std::stoull(next());
-    else if (arg == "--no-jitter") opt.run.enable_jitter = false;
-    else if (arg == "--enmax") opt.score.enmax_mj = std::stod(next());
-    else if (arg == "--k") opt.score.k = std::stod(next());
-    else if (arg == "--csv") csv_path = next();
-    else if (arg == "--timeline") timeline = true;
-    else usage_error("unknown option '" + arg + "'");
+    try {
+      if (arg == "--accel") accel_id = next()[0];
+      else if (arg == "--pes") pes = std::stoll(next());
+      else if (arg == "--hw-config") hw_config = next();
+      else if (arg == "--scenario") scenario_name = next();
+      else if (arg == "--scenario-config") scenario_config = next();
+      else if (arg == "--program") program_name = next();
+      else if (arg == "--program-config") program_config = next();
+      else if (arg == "--scheduler") {
+        opt.scheduler = checked_scheduler(next());
+        scheduler_flag = true;
+      } else if (arg == "--governor") {
+        opt.governor = checked_governor(next());
+        governor_flag = true;
+      }
+      else if (arg == "--duration") opt.run.duration_ms = std::stod(next());
+      else if (arg == "--trials") opt.dynamic_trials = std::stoi(next());
+      else if (arg == "--seed") opt.run.seed = std::stoull(next());
+      else if (arg == "--no-jitter") opt.run.enable_jitter = false;
+      else if (arg == "--enmax") opt.score.enmax_mj = std::stod(next());
+      else if (arg == "--k") opt.score.k = std::stod(next());
+      else if (arg == "--csv") csv_path = next();
+      else if (arg == "--timeline") timeline = true;
+      else if (arg == "--list-policies") {
+        list_policies();
+        return 0;
+      }
+      else usage_error("unknown option '" + arg + "'");
+    } catch (const std::invalid_argument& e) {
+      usage_error(e.what());
+    }
   }
 
   try {
     const auto system = hw_config ? hw::load_accelerator(*hw_config)
                                   : hw::make_accelerator(accel_id, pes);
+
+    if (program_name || program_config) {
+      auto program = program_config
+                         ? workload::load_program(*program_config)
+                         : workload::program_by_name(*program_name);
+      // Explicit flags override the policies a program config names.
+      if (scheduler_flag) program.scheduler.clear();
+      if (governor_flag) program.governor.clear();
+      // One point through the sweep engine: XRBENCH_THREADS (or hardware
+      // concurrency) parallelizes the trials, byte-identically to serial.
+      core::SweepEngine engine;
+      auto outcomes = engine.run_program_points(
+          {{program.name, system, opt, program}});
+      const auto& out = outcomes.front();
+      core::print_scenario_report(std::cout, out);
+      if (timeline) {
+        std::cout << "\n";
+        core::print_timeline(std::cout, out.last_run,
+                             out.last_run.duration_ms, 10.0);
+      }
+      return 0;
+    }
+
     core::Harness harness(system, opt);
 
     if (scenario_name || scenario_config) {

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/aggregate.h"
@@ -14,19 +15,34 @@
 namespace xrbench::core {
 
 /// Harness-level options (the user-defined benchmark inputs of Figure 2).
+/// Policies are named, not enumerated: the strings resolve through
+/// runtime::PolicyRegistry at run time, so user-registered policies are
+/// first-class harness inputs and unknown names fail with the registered
+/// list in the error.
 struct HarnessOptions {
   runtime::RunConfig run;  ///< duration, seed, jitter
   ScoreConfig score;
-  runtime::SchedulerKind scheduler =
-      runtime::SchedulerKind::kLatencyGreedy;
-  /// DVFS policy consulted at dispatch time. Fixed-nominal reproduces the
+  std::string scheduler = "latency-greedy";
+  /// DVFS policy consulted at dispatch time. "fixed-nominal" reproduces the
   /// pre-DVFS behavior exactly (every inference runs at the nominal clock).
-  runtime::GovernorKind governor = runtime::GovernorKind::kFixedNominal;
+  std::string governor = "fixed-nominal";
+  /// Per-sub-accelerator governor overrides, (sub-accel index, governor
+  /// name): sub-accelerator i runs under its override when present, under
+  /// `governor` otherwise (heterogeneous governor mixes).
+  std::vector<std::pair<std::size_t, std::string>> governor_overrides;
   /// Trials averaged for dynamic (stochastic) scenarios; static scenarios
   /// always run once. Paper runs 200 trials for the Figure-7 sweep.
   int dynamic_trials = 20;
   costmodel::EnergyParams energy;  ///< Cost-model energy constants.
 };
+
+/// Throws std::invalid_argument when a governor_overrides entry names a
+/// sub-accelerator index the system does not have — an out-of-range
+/// override would otherwise be silently inert (the dispatcher only ever
+/// queries real hardware indices). Harness validates at construction;
+/// SweepEngine validates per point.
+void validate_governor_overrides(const HarnessOptions& options,
+                                 const hw::AcceleratorSystem& system);
 
 /// Outcome of benchmarking one scenario on one accelerator system.
 struct ScenarioOutcome {
@@ -67,6 +83,16 @@ class Harness {
   /// Benchmarks one scenario; dynamic scenarios are averaged over
   /// options.dynamic_trials trials (seeds seed, seed+1, ...).
   ScenarioOutcome run_scenario(const workload::UsageScenario& scenario) const;
+
+  /// One raw run of a scenario program (continuous multi-phase timeline).
+  /// A program naming its own scheduler/governor overrides the harness
+  /// options for that run.
+  runtime::ScenarioRunResult run_program_once(
+      const workload::ScenarioProgram& program, std::uint64_t seed) const;
+
+  /// Benchmarks one program; programs with any dynamic phase are averaged
+  /// over options.dynamic_trials trials, mirroring run_scenario.
+  ScenarioOutcome run_program(const workload::ScenarioProgram& program) const;
 
   /// Benchmarks every Table-2 scenario and combines them into the
   /// XRBench score (Definition 16).

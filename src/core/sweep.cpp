@@ -1,7 +1,10 @@
 #include "core/sweep.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
+
+#include "runtime/policy_registry.h"
 
 namespace xrbench::core {
 
@@ -29,12 +32,15 @@ bool same_energy(const costmodel::EnergyParams& a,
 
 bool same_sub_accel(const costmodel::SubAccelConfig& a,
                     const costmodel::SubAccelConfig& b) {
+  // transition_ms does not enter the CostTable, but grouping stays
+  // conservative: a point with a different penalty is a different design.
   if (a.dataflow != b.dataflow || a.num_pes != b.num_pes ||
       a.clock_ghz != b.clock_ghz ||
       a.noc_bytes_per_cycle != b.noc_bytes_per_cycle ||
       a.offchip_bytes_per_cycle != b.offchip_bytes_per_cycle ||
       a.sram_bytes != b.sram_bytes ||
       a.dvfs.nominal_level != b.dvfs.nominal_level ||
+      a.dvfs.transition_ms != b.dvfs.transition_ms ||
       a.dvfs.levels.size() != b.dvfs.levels.size()) {
     return false;
   }
@@ -65,6 +71,13 @@ int trials_for(const workload::UsageScenario& scenario,
              : 1;
 }
 
+int trials_for(const workload::ScenarioProgram& program,
+               const HarnessOptions& options) {
+  return workload::is_dynamic_program(program)
+             ? std::max(1, options.dynamic_trials)
+             : 1;
+}
+
 /// Per-(point, scenario) accumulation slots; every trial job writes only
 /// its own pre-sized slot, so no synchronization beyond the pool's queue is
 /// needed and reduction order equals submission order.
@@ -74,6 +87,29 @@ struct ScenarioWork {
   runtime::ScenarioRunResult last_run;
 };
 
+/// Policy instances for one trial, resolved through the registry exactly
+/// like Harness does: point options name the policies, a program's own
+/// names (when set) win over the options'.
+struct TrialPolicies {
+  std::unique_ptr<runtime::Scheduler> scheduler;
+  std::unique_ptr<runtime::FrequencyGovernor> governor;
+};
+
+TrialPolicies make_policies(const HarnessOptions& options,
+                            const std::string& scheduler_override,
+                            const std::string& governor_override) {
+  const auto& registry = runtime::PolicyRegistry::instance();
+  TrialPolicies p;
+  p.scheduler = registry.make_scheduler(
+      scheduler_override.empty() ? options.scheduler : scheduler_override);
+  p.scheduler->reset();
+  p.governor = registry.make_governor_map(
+      governor_override.empty() ? options.governor : governor_override,
+      options.governor_overrides);
+  p.governor->reset();
+  return p;
+}
+
 /// One trial: fresh scheduler, shared read-only cost table, deterministic
 /// seed = base seed + trial index. Identical to Harness::run_once.
 void run_trial(const hw::AcceleratorSystem& system,
@@ -82,12 +118,28 @@ void run_trial(const hw::AcceleratorSystem& system,
                const HarnessOptions& options, int trial, ScenarioWork& work) {
   runtime::RunConfig cfg = options.run;
   cfg.seed += static_cast<std::uint64_t>(trial);
-  auto scheduler = runtime::make_scheduler(options.scheduler);
-  scheduler->reset();
-  auto governor = runtime::make_governor(options.governor);
-  governor->reset();
+  auto policies = make_policies(options, "", "");
   const runtime::ScenarioRunner runner(system, table);
-  auto run = runner.run(scenario, *scheduler, cfg, governor.get());
+  auto run =
+      runner.run(scenario, *policies.scheduler, cfg, policies.governor.get());
+  work.trial_scores[static_cast<std::size_t>(trial)] =
+      score_scenario(run, options.score);
+  if (trial == work.trials - 1) work.last_run = std::move(run);
+}
+
+/// One program trial — the run_program analogue, identical to
+/// Harness::run_program_once at seed base + trial.
+void run_program_trial(const hw::AcceleratorSystem& system,
+                       const runtime::CostTable& table,
+                       const workload::ScenarioProgram& program,
+                       const HarnessOptions& options, int trial,
+                       ScenarioWork& work) {
+  runtime::RunConfig cfg = options.run;
+  cfg.seed += static_cast<std::uint64_t>(trial);
+  auto policies = make_policies(options, program.scheduler, program.governor);
+  const runtime::ScenarioRunner runner(system, table);
+  auto run = runner.run_program(program, *policies.scheduler, cfg,
+                                policies.governor.get());
   work.trial_scores[static_cast<std::size_t>(trial)] =
       score_scenario(run, options.score);
   if (trial == work.trials - 1) work.last_run = std::move(run);
@@ -99,6 +151,80 @@ ScenarioOutcome assemble(ScenarioWork&& work) {
   outcome.last_run = std::move(work.last_run);
   outcome.trials = work.trials;
   return outcome;
+}
+
+/// Shared body of run_scenario_points / run_program_points: group points
+/// that share a (system, energy) pair behind one CostTable build, chunk
+/// each point's trials into batch tasks, reduce in submission order.
+/// `run_one(p, table, trial, work)` runs one trial of point `p`.
+template <typename Point, typename TrialsFn, typename RunFn>
+std::vector<ScenarioOutcome> run_grouped_points(
+    util::ThreadPool& pool,
+    const std::function<costmodel::AnalyticalCostModel&(
+        const costmodel::EnergyParams&)>& model_for,
+    const std::vector<Point>& points, TrialsFn trials_of, RunFn run_one) {
+  std::vector<ScenarioWork> work(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    validate_governor_overrides(points[p].options, points[p].system);
+    auto& sw = work[p];
+    sw.trials = trials_of(points[p]);
+    sw.trial_scores.resize(static_cast<std::size_t>(sw.trials));
+  }
+
+  // Points that share an accelerator system and energy constants share one
+  // CostTable build (governor/scenario sweeps like bench_ablation_dvfs vary
+  // only the policy across many points of a single design).
+  struct TableGroup {
+    std::unique_ptr<runtime::CostTable> table;
+    std::vector<std::size_t> members;  ///< Point indices, ascending.
+  };
+  std::vector<TableGroup> groups;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    TableGroup* home = nullptr;
+    for (auto& g : groups) {
+      const std::size_t rep = g.members.front();
+      if (same_system(points[rep].system, points[p].system) &&
+          same_energy(points[rep].options.energy, points[p].options.energy)) {
+        home = &g;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      groups.emplace_back();
+      home = &groups.back();
+    }
+    home->members.push_back(p);
+  }
+
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    pool.submit([&pool, &model_for, &points, &work, &groups, &run_one, gi] {
+      TableGroup& group = groups[gi];
+      const std::size_t rep = group.members.front();
+      group.table = std::make_unique<runtime::CostTable>(
+          points[rep].system, model_for(points[rep].options.energy));
+      std::vector<util::Task> batch;
+      for (std::size_t p : group.members) {
+        const int trials = work[p].trials;
+        const auto chunk =
+            static_cast<int>(trial_chunk(trials, pool.num_threads()));
+        for (int t0 = 0; t0 < trials; t0 += chunk) {
+          const int t1 = std::min(trials, t0 + chunk);
+          batch.push_back([&work, &groups, &run_one, gi, p, t0, t1] {
+            for (int t = t0; t < t1; ++t) {
+              run_one(p, *groups[gi].table, t, work[p]);
+            }
+          });
+        }
+      }
+      pool.submit_batch(std::move(batch));
+    });
+  }
+  pool.wait_idle();
+
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.reserve(points.size());
+  for (auto& sw : work) outcomes.push_back(assemble(std::move(sw)));
+  return outcomes;
 }
 
 }  // namespace
@@ -130,6 +256,7 @@ std::vector<BenchmarkOutcome> SweepEngine::run_suite_points(
   };
   std::vector<PointWork> work(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
+    validate_governor_overrides(points[p].options, points[p].system);
     work[p].scenarios.resize(suite.size());
     for (std::size_t s = 0; s < suite.size(); ++s) {
       auto& sw = work[p].scenarios[s];
@@ -190,68 +317,43 @@ std::vector<BenchmarkOutcome> SweepEngine::run_suite_points(
 
 std::vector<ScenarioOutcome> SweepEngine::run_scenario_points(
     const std::vector<ScenarioSweepPoint>& points) {
-  std::vector<ScenarioWork> work(points.size());
-  for (std::size_t p = 0; p < points.size(); ++p) {
-    auto& sw = work[p];
-    sw.trials = trials_for(points[p].scenario, points[p].options);
-    sw.trial_scores.resize(static_cast<std::size_t>(sw.trials));
-  }
+  const std::function<costmodel::AnalyticalCostModel&(
+      const costmodel::EnergyParams&)>
+      model = [this](const costmodel::EnergyParams& e)
+      -> costmodel::AnalyticalCostModel& { return model_for(e); };
+  return run_grouped_points(
+      pool_, model, points,
+      [](const ScenarioSweepPoint& p) {
+        return trials_for(p.scenario, p.options);
+      },
+      [&points](std::size_t p, const runtime::CostTable& table, int t,
+                ScenarioWork& w) {
+        run_trial(points[p].system, table, points[p].scenario,
+                  points[p].options, t, w);
+      });
+}
 
-  // Points that share an accelerator system and energy constants share one
-  // CostTable build (governor/scenario sweeps like bench_ablation_dvfs vary
-  // only the policy across many points of a single design).
-  struct TableGroup {
-    std::unique_ptr<runtime::CostTable> table;
-    std::vector<std::size_t> members;  ///< Point indices, ascending.
-  };
-  std::vector<TableGroup> groups;
-  for (std::size_t p = 0; p < points.size(); ++p) {
-    TableGroup* home = nullptr;
-    for (auto& g : groups) {
-      const std::size_t rep = g.members.front();
-      if (same_system(points[rep].system, points[p].system) &&
-          same_energy(points[rep].options.energy, points[p].options.energy)) {
-        home = &g;
-        break;
-      }
-    }
-    if (home == nullptr) {
-      groups.emplace_back();
-      home = &groups.back();
-    }
-    home->members.push_back(p);
-  }
-
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    pool_.submit([this, &points, &work, &groups, gi] {
-      TableGroup& group = groups[gi];
-      const std::size_t rep = group.members.front();
-      group.table = std::make_unique<runtime::CostTable>(
-          points[rep].system, model_for(points[rep].options.energy));
-      std::vector<util::Task> batch;
-      for (std::size_t p : group.members) {
-        const int trials = work[p].trials;
-        const auto chunk =
-            static_cast<int>(trial_chunk(trials, pool_.num_threads()));
-        for (int t0 = 0; t0 < trials; t0 += chunk) {
-          const int t1 = std::min(trials, t0 + chunk);
-          batch.push_back([&points, &work, &groups, gi, p, t0, t1] {
-            for (int t = t0; t < t1; ++t) {
-              run_trial(points[p].system, *groups[gi].table,
-                        points[p].scenario, points[p].options, t, work[p]);
-            }
-          });
-        }
-      }
-      pool_.submit_batch(std::move(batch));
-    });
-  }
-  pool_.wait_idle();
-
-  std::vector<ScenarioOutcome> outcomes;
-  outcomes.reserve(points.size());
-  for (auto& sw : work) outcomes.push_back(assemble(std::move(sw)));
-  return outcomes;
+std::vector<ScenarioOutcome> SweepEngine::run_program_points(
+    const std::vector<ProgramSweepPoint>& points) {
+  // Touch the lazily-initialized registries on this thread first; worker
+  // threads then only read them (the scenario registries are reached
+  // through program phases, the policy registry through trial policies).
+  workload::extension_programs();
+  runtime::PolicyRegistry::instance();
+  const std::function<costmodel::AnalyticalCostModel&(
+      const costmodel::EnergyParams&)>
+      model = [this](const costmodel::EnergyParams& e)
+      -> costmodel::AnalyticalCostModel& { return model_for(e); };
+  return run_grouped_points(
+      pool_, model, points,
+      [](const ProgramSweepPoint& p) {
+        return trials_for(p.program, p.options);
+      },
+      [&points](std::size_t p, const runtime::CostTable& table, int t,
+                ScenarioWork& w) {
+        run_program_trial(points[p].system, table, points[p].program,
+                          points[p].options, t, w);
+      });
 }
 
 std::vector<std::unique_ptr<runtime::CostTable>> SweepEngine::build_cost_tables(

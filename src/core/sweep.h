@@ -27,6 +27,15 @@ struct ScenarioSweepPoint {
   workload::UsageScenario scenario;
 };
 
+/// One (design, program) point: a multi-phase scenario program benchmarked
+/// on one accelerator system (hand-off / co-presence session sweeps).
+struct ProgramSweepPoint {
+  std::string label;
+  hw::AcceleratorSystem system;
+  HarnessOptions options;
+  workload::ScenarioProgram program;
+};
+
 /// Parallel evaluation engine for accelerator/scenario sweeps.
 ///
 /// Fans (config x scenario x trial) evaluation jobs out over a worker pool:
@@ -66,6 +75,13 @@ class SweepEngine {
   /// CostTable build (policy sweeps over a single design build it once).
   std::vector<ScenarioOutcome> run_scenario_points(
       const std::vector<ScenarioSweepPoint>& points);
+
+  /// Benchmarks each (system, program) pair. Equivalent to:
+  ///   for (p : points) Harness(p.system, p.options).run_program(p.program)
+  /// with the same CostTable sharing and serial/parallel byte-identity
+  /// contract as run_scenario_points.
+  std::vector<ScenarioOutcome> run_program_points(
+      const std::vector<ProgramSweepPoint>& points);
 
   /// Builds one CostTable per system in parallel (bench_table5-style
   /// cost-model sweeps). All builds share `cost_model` and therefore its

@@ -5,8 +5,116 @@
 #include <stdexcept>
 
 #include "util/ini.h"
+#include "util/table.h"
 
 namespace xrbench::hw {
+
+namespace {
+
+/// Exact-round-trip formatting for every key the cost model reads: clocks,
+/// bandwidths and DVFS ladders feed the bit-identity contract, and the
+/// anchored_at check compares the parsed nominal frequency to the parsed
+/// clock with exact equality — a lower-precision clock write would make the
+/// library reject its own output for non-short-decimal clocks.
+using util::fmt_double_exact;
+
+[[noreturn]] void dvfs_error(int line, const std::string& message) {
+  throw std::invalid_argument("accelerator config line " +
+                              std::to_string(line) + ": " + message);
+}
+
+/// Parses "f1@v1, f2@v2, ..." into an operating-point list, enforcing a
+/// strictly-ascending positive V/f ladder. `line` is the source line of the
+/// dvfs_levels key, reported in every rejection.
+std::vector<DvfsOperatingPoint> parse_dvfs_levels(const std::string& text,
+                                                  int line) {
+  std::vector<DvfsOperatingPoint> levels;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    const auto at = token.find('@');
+    if (at == std::string::npos) {
+      dvfs_error(line, "dvfs_levels entries must be freq_ghz@voltage_v, got '" +
+                           token + "'");
+    }
+    DvfsOperatingPoint op;
+    try {
+      std::size_t fpos = 0, vpos = 0;
+      const std::string fstr = token.substr(0, at);
+      const std::string vstr = token.substr(at + 1);
+      op.freq_ghz = std::stod(fstr, &fpos);
+      op.voltage_v = std::stod(vstr, &vpos);
+      if (fstr.find_first_not_of(" \t", fpos) != std::string::npos ||
+          vstr.find_first_not_of(" \t", vpos) != std::string::npos) {
+        throw std::invalid_argument("trailing characters");
+      }
+    } catch (const std::exception&) {
+      dvfs_error(line, "dvfs_levels entry '" + token + "' is not numeric");
+    }
+    if (op.freq_ghz <= 0.0 || op.voltage_v <= 0.0) {
+      dvfs_error(line, "dvfs_levels frequencies and voltages must be > 0");
+    }
+    if (!levels.empty() && op.freq_ghz <= levels.back().freq_ghz) {
+      dvfs_error(line,
+                 "dvfs_levels must be strictly ascending in frequency (" +
+                     fmt_double_exact(op.freq_ghz) + " GHz after " +
+                     fmt_double_exact(levels.back().freq_ghz) + " GHz)");
+    }
+    levels.push_back(op);
+  }
+  if (levels.empty()) {
+    dvfs_error(line, "dvfs_levels must list at least one operating point");
+  }
+  return levels;
+}
+
+/// Reads the optional DVFS keys of one [sub_accel] section into a DvfsState
+/// anchored at `clock_ghz`.
+DvfsState parse_dvfs(const util::IniDocument::Section& sec, double clock_ghz) {
+  DvfsState dvfs;
+  if (sec.has("dvfs_levels")) {
+    const int line = sec.line_of("dvfs_levels");
+    dvfs.levels = parse_dvfs_levels(sec.get("dvfs_levels"), line);
+    if (sec.has("dvfs_nominal")) {
+      const std::int64_t nominal = sec.get_int("dvfs_nominal");
+      if (nominal < 0 ||
+          nominal >= static_cast<std::int64_t>(dvfs.levels.size())) {
+        dvfs_error(sec.line_of("dvfs_nominal"),
+                   "dvfs_nominal must index a dvfs_levels entry (0.." +
+                       std::to_string(dvfs.levels.size() - 1) + ")");
+      }
+      dvfs.nominal_level = static_cast<std::size_t>(nominal);
+    } else {
+      // Default: the level whose frequency equals the chip clock.
+      std::size_t anchored = dvfs.levels.size();
+      for (std::size_t i = 0; i < dvfs.levels.size(); ++i) {
+        if (dvfs.levels[i].freq_ghz == clock_ghz) anchored = i;
+      }
+      if (anchored == dvfs.levels.size()) {
+        dvfs_error(line,
+                   "dvfs_levels has no level at the chip clock; set "
+                   "dvfs_nominal explicitly or add a clock-rate level");
+      }
+      dvfs.nominal_level = anchored;
+    }
+    if (!dvfs.anchored_at(clock_ghz)) {
+      dvfs_error(line,
+                 "the nominal dvfs level must run at the chip clock (" +
+                     fmt_double_exact(clock_ghz) + " GHz) to keep nominal costs "
+                     "bit-identical to the fixed-clock path");
+    }
+  }
+  if (sec.has("dvfs_transition_ms")) {
+    dvfs.transition_ms = sec.get_double("dvfs_transition_ms");
+    if (dvfs.transition_ms < 0.0) {
+      dvfs_error(sec.line_of("dvfs_transition_ms"),
+                 "dvfs_transition_ms must be >= 0");
+    }
+  }
+  return dvfs;
+}
+
+}  // namespace
 
 AccelStyle parse_accel_style(const std::string& name) {
   if (name == "FDA") return AccelStyle::kFDA;
@@ -23,15 +131,31 @@ std::string to_config_text(const AcceleratorSystem& system) {
   chip.set("style", accel_style_name(system.style));
   chip.set("dataflow_desc", system.dataflow_desc);
   if (!system.sub_accels.empty()) {
-    chip.set_double("clock_ghz", system.sub_accels.front().clock_ghz);
+    chip.set("clock_ghz",
+             fmt_double_exact(system.sub_accels.front().clock_ghz));
   }
   for (const auto& sa : system.sub_accels) {
     auto& sec = doc.add_section("sub_accel");
     sec.set("dataflow", costmodel::dataflow_name(sa.dataflow));
     sec.set_int("num_pes", sa.num_pes);
-    sec.set_double("noc_gbps", sa.noc_bytes_per_cycle * sa.clock_ghz);
-    sec.set_double("offchip_gbps", sa.offchip_bytes_per_cycle * sa.clock_ghz);
+    sec.set("noc_gbps",
+            fmt_double_exact(sa.noc_bytes_per_cycle * sa.clock_ghz));
+    sec.set("offchip_gbps",
+            fmt_double_exact(sa.offchip_bytes_per_cycle * sa.clock_ghz));
     sec.set_int("sram_kib", sa.sram_bytes / 1024);
+    if (!sa.dvfs.levels.empty()) {
+      std::string ladder;
+      for (const auto& op : sa.dvfs.levels) {
+        if (!ladder.empty()) ladder += ", ";
+        ladder += fmt_double_exact(op.freq_ghz) + "@" + fmt_double_exact(op.voltage_v);
+      }
+      sec.set("dvfs_levels", ladder);
+      sec.set_int("dvfs_nominal",
+                  static_cast<std::int64_t>(sa.dvfs.nominal_level));
+    }
+    if (sa.dvfs.transition_ms != 0.0) {
+      sec.set("dvfs_transition_ms", fmt_double_exact(sa.dvfs.transition_ms));
+    }
   }
   return doc.to_string();
 }
@@ -65,6 +189,7 @@ AcceleratorSystem from_config_text(const std::string& text) {
     sa.noc_bytes_per_cycle = sec->get_double("noc_gbps") / clock;
     sa.offchip_bytes_per_cycle = sec->get_double("offchip_gbps") / clock;
     sa.sram_bytes = sec->get_int("sram_kib") * 1024;
+    sa.dvfs = parse_dvfs(*sec, clock);
     if (!sa.valid()) {
       throw std::invalid_argument(
           "accelerator config: invalid [sub_accel] resources for " + sa.id);

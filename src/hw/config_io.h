@@ -21,9 +21,17 @@ namespace xrbench::hw {
 ///   noc_gbps = 128
 ///   offchip_gbps = 12
 ///   sram_kib = 4096
+///   ; optional DVFS operating-point table (freq_ghz@voltage_v pairs,
+///   ; strictly ascending in frequency; the nominal level must match the
+///   ; chip clock so nominal-level costs stay bit-identical):
+///   dvfs_levels = 0.5@0.62, 0.85@0.74, 1@0.8, 1.2@0.836
+///   dvfs_nominal = 2
+///   dvfs_transition_ms = 0.1   ; level-switch latency penalty (default 0)
 ///
 /// Ratios/partitioning are explicit per sub-accelerator, so arbitrary
-/// systems beyond Table 5 can be described.
+/// systems beyond Table 5 can be described. Malformed DVFS ladders
+/// (non-monotonic frequencies, non-positive voltages, out-of-range or
+/// unanchored nominal) are rejected with the offending line number.
 
 /// Serializes a system to INI text.
 std::string to_config_text(const AcceleratorSystem& system);

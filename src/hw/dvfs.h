@@ -28,6 +28,11 @@ struct DvfsOperatingPoint {
 struct DvfsState {
   std::vector<DvfsOperatingPoint> levels;
   std::size_t nominal_level = 0;
+  /// Latency charged by the dispatcher when two consecutive dispatches on
+  /// this sub-accelerator execute at different levels (the PMU's
+  /// PLL-relock / voltage-settle cost). The default 0 keeps governed runs
+  /// bit-identical to the penalty-free model.
+  double transition_ms = 0.0;
 
   /// Number of selectable levels (1 for the empty fixed-clock table).
   std::size_t num_levels() const { return levels.empty() ? 1 : levels.size(); }

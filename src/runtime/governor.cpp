@@ -61,6 +61,40 @@ std::size_t RaceToIdleGovernor::level_for(const GovernorContext& ctx) {
   return ctx.costs->num_levels(ctx.sub_accel) - 1;
 }
 
+PerSubAccelGovernor::PerSubAccelGovernor(
+    std::unique_ptr<FrequencyGovernor> base)
+    : base_(std::move(base)) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("PerSubAccelGovernor: base must be non-null");
+  }
+}
+
+void PerSubAccelGovernor::set_override(
+    std::size_t sub_accel, std::unique_ptr<FrequencyGovernor> governor) {
+  if (governor == nullptr) {
+    throw std::invalid_argument(
+        "PerSubAccelGovernor: override must be non-null");
+  }
+  if (overrides_.size() <= sub_accel) overrides_.resize(sub_accel + 1);
+  overrides_[sub_accel] = std::move(governor);
+}
+
+std::size_t PerSubAccelGovernor::level_for(const GovernorContext& ctx) {
+  check_context(ctx);
+  if (ctx.sub_accel < overrides_.size() &&
+      overrides_[ctx.sub_accel] != nullptr) {
+    return overrides_[ctx.sub_accel]->level_for(ctx);
+  }
+  return base_->level_for(ctx);
+}
+
+void PerSubAccelGovernor::reset() {
+  base_->reset();
+  for (auto& gov : overrides_) {
+    if (gov != nullptr) gov->reset();
+  }
+}
+
 const char* governor_kind_name(GovernorKind kind) {
   switch (kind) {
     case GovernorKind::kFixedLowest: return "fixed-lowest";

@@ -79,6 +79,30 @@ class RaceToIdleGovernor final : public FrequencyGovernor {
   std::size_t level_for(const GovernorContext& ctx) override;
 };
 
+/// Per-sub-accelerator governor composite: routes level_for() to the
+/// override registered for ctx.sub_accel, falling back to the base policy.
+/// Lets heterogeneous systems mix policies (e.g. race-to-idle on a small
+/// always-on sub-accelerator, deadline-aware on the big one) while staying
+/// inside the governor determinism contract — each child is itself a pure
+/// function of the context, and the routing key is part of the context.
+class PerSubAccelGovernor final : public FrequencyGovernor {
+ public:
+  explicit PerSubAccelGovernor(std::unique_ptr<FrequencyGovernor> base);
+
+  /// Installs `governor` for `sub_accel` (replacing any previous override).
+  void set_override(std::size_t sub_accel,
+                    std::unique_ptr<FrequencyGovernor> governor);
+
+  const char* name() const override { return "per-sub-accel"; }
+  std::size_t level_for(const GovernorContext& ctx) override;
+  void reset() override;
+
+ private:
+  std::unique_ptr<FrequencyGovernor> base_;
+  /// Indexed by sub-accelerator; null entries fall through to base_.
+  std::vector<std::unique_ptr<FrequencyGovernor>> overrides_;
+};
+
 enum class GovernorKind {
   kFixedLowest,
   kFixedNominal,

@@ -1,0 +1,140 @@
+#include "runtime/policy_registry.h"
+
+#include <stdexcept>
+
+namespace xrbench::runtime {
+
+namespace {
+
+template <typename Pairs>
+std::string join_names(const Pairs& pairs) {
+  std::string out;
+  for (const auto& [name, factory] : pairs) {
+    if (!out.empty()) out += ", ";
+    out += "'" + name + "'";
+  }
+  return out;
+}
+
+template <typename Pairs>
+const typename Pairs::value_type::second_type* find_factory(
+    const Pairs& pairs, const std::string& name) {
+  for (const auto& [n, factory] : pairs) {
+    if (n == name) return &factory;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PolicyRegistry::PolicyRegistry() {
+  // Built-ins, in the enum order of SchedulerKind / GovernorKind so
+  // registry-driven sweeps enumerate policies in the same order the enum
+  // tables always did.
+  for (auto kind : {SchedulerKind::kLatencyGreedy, SchedulerKind::kRoundRobin,
+                    SchedulerKind::kEdf, SchedulerKind::kSlackAware}) {
+    register_scheduler(scheduler_kind_name(kind),
+                       [kind] { return runtime::make_scheduler(kind); });
+  }
+  for (auto kind : all_governor_kinds()) {
+    register_governor(governor_kind_name(kind),
+                      [kind] { return runtime::make_governor(kind); });
+  }
+}
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+void PolicyRegistry::register_scheduler(const std::string& name,
+                                        SchedulerFactory factory) {
+  if (name.empty() || !factory) {
+    throw std::invalid_argument(
+        "PolicyRegistry: scheduler name and factory must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (find_factory(schedulers_, name) != nullptr) {
+    throw std::invalid_argument("PolicyRegistry: scheduler '" + name +
+                                "' is already registered");
+  }
+  schedulers_.emplace_back(name, std::move(factory));
+}
+
+void PolicyRegistry::register_governor(const std::string& name,
+                                       GovernorFactory factory) {
+  if (name.empty() || !factory) {
+    throw std::invalid_argument(
+        "PolicyRegistry: governor name and factory must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (find_factory(governors_, name) != nullptr) {
+    throw std::invalid_argument("PolicyRegistry: governor '" + name +
+                                "' is already registered");
+  }
+  governors_.emplace_back(name, std::move(factory));
+}
+
+bool PolicyRegistry::has_scheduler(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_factory(schedulers_, name) != nullptr;
+}
+
+bool PolicyRegistry::has_governor(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_factory(governors_, name) != nullptr;
+}
+
+std::unique_ptr<Scheduler> PolicyRegistry::make_scheduler(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto* factory = find_factory(schedulers_, name);
+  if (factory == nullptr) {
+    throw std::invalid_argument("PolicyRegistry: unknown scheduler '" + name +
+                                "' (available: " + join_names(schedulers_) +
+                                ")");
+  }
+  return (*factory)();
+}
+
+std::unique_ptr<FrequencyGovernor> PolicyRegistry::make_governor(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto* factory = find_factory(governors_, name);
+  if (factory == nullptr) {
+    throw std::invalid_argument("PolicyRegistry: unknown governor '" + name +
+                                "' (available: " + join_names(governors_) +
+                                ")");
+  }
+  return (*factory)();
+}
+
+std::unique_ptr<FrequencyGovernor> PolicyRegistry::make_governor_map(
+    const std::string& base,
+    const std::vector<std::pair<std::size_t, std::string>>& overrides) const {
+  auto base_gov = make_governor(base);
+  if (overrides.empty()) return base_gov;
+  auto composite = std::make_unique<PerSubAccelGovernor>(std::move(base_gov));
+  for (const auto& [sub_accel, name] : overrides) {
+    composite->set_override(sub_accel, make_governor(name));
+  }
+  return composite;
+}
+
+std::vector<std::string> PolicyRegistry::scheduler_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(schedulers_.size());
+  for (const auto& [name, factory] : schedulers_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::governor_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(governors_.size());
+  for (const auto& [name, factory] : governors_) names.push_back(name);
+  return names;
+}
+
+}  // namespace xrbench::runtime

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/governor.h"
+#include "runtime/scheduler.h"
+
+namespace xrbench::runtime {
+
+/// String-keyed registry of decision policies (schedulers and frequency
+/// governors). This is the single source for policy names across the stack:
+/// HarnessOptions, SweepEngine trial specs, CLI flags, bench ablations and
+/// the text-config formats all resolve names through here instead of each
+/// keeping its own enum-parsing table.
+///
+/// Built-in policies are registered at construction in a fixed order, so
+/// name listings (and therefore sweeps that iterate them) are deterministic.
+/// User policies register at startup (see examples/custom_scheduler.cpp);
+/// lookups are mutex-guarded, so concurrent sweep trials can instantiate
+/// policies safely.
+class PolicyRegistry {
+ public:
+  using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+  using GovernorFactory = std::function<std::unique_ptr<FrequencyGovernor>()>;
+
+  /// The process-wide registry, pre-populated with the shipped policies:
+  /// schedulers "latency-greedy", "round-robin", "edf", "slack-aware";
+  /// governors "fixed-lowest", "fixed-nominal", "fixed-highest",
+  /// "deadline-aware", "race-to-idle".
+  static PolicyRegistry& instance();
+
+  /// Registers a factory. Throws std::invalid_argument on an empty name or
+  /// a duplicate registration.
+  void register_scheduler(const std::string& name, SchedulerFactory factory);
+  void register_governor(const std::string& name, GovernorFactory factory);
+
+  bool has_scheduler(const std::string& name) const;
+  bool has_governor(const std::string& name) const;
+
+  /// Instantiates the named policy. Throws std::invalid_argument on an
+  /// unknown name, listing the registered names in the message.
+  std::unique_ptr<Scheduler> make_scheduler(const std::string& name) const;
+  std::unique_ptr<FrequencyGovernor> make_governor(
+      const std::string& name) const;
+
+  /// Builds a governor from a base name plus per-sub-accelerator overrides
+  /// (sub-accel index -> governor name). With no overrides this is exactly
+  /// make_governor(base) — no composite wrapper on the common path.
+  std::unique_ptr<FrequencyGovernor> make_governor_map(
+      const std::string& base,
+      const std::vector<std::pair<std::size_t, std::string>>& overrides)
+      const;
+
+  /// Registered names in registration order (deterministic sweeps).
+  std::vector<std::string> scheduler_names() const;
+  std::vector<std::string> governor_names() const;
+
+ private:
+  PolicyRegistry();
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, SchedulerFactory>> schedulers_;
+  std::vector<std::pair<std::string, GovernorFactory>> governors_;
+};
+
+}  // namespace xrbench::runtime

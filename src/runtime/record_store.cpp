@@ -177,6 +177,29 @@ void RecordStore::push_back(const InferenceRecord& rec) {
   }
 }
 
+void RecordStore::append_shifted(const RecordStore& other, double shift_ms) {
+  reserve(size_ + other.size_);
+  for (std::size_t i = 0; i < other.size_; ++i) {
+    const std::size_t j = size_++;
+    task_[j] = other.task_[i];
+    frame_[j] = other.frame_[i];
+    treq_ms_[j] = other.treq_ms_[i] + shift_ms;
+    tdl_ms_[j] = other.tdl_ms_[i] + shift_ms;
+    if (other.dropped_[i] != 0) {
+      // Never dispatched: execution fields stay as stored, not shifted.
+      dispatch_ms_[j] = other.dispatch_ms_[i];
+      complete_ms_[j] = other.complete_ms_[i];
+    } else {
+      dispatch_ms_[j] = other.dispatch_ms_[i] + shift_ms;
+      complete_ms_[j] = other.complete_ms_[i] + shift_ms;
+    }
+    energy_mj_[j] = other.energy_mj_[i];
+    sub_accel_[j] = other.sub_accel_[i];
+    dvfs_level_[j] = other.dvfs_level_[i];
+    dropped_[j] = other.dropped_[i];
+  }
+}
+
 InferenceRecord RecordStore::operator[](std::size_t i) const {
   InferenceRecord rec;
   rec.task = task_[i];

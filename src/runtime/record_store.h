@@ -53,6 +53,13 @@ class RecordStore {
   /// AoS-compatible append (tests and synthetic-run builders).
   void push_back(const InferenceRecord& rec);
 
+  /// Appends every record of `other` with `shift_ms` added to its request
+  /// and deadline times — and, for executed records, its dispatch and
+  /// completion times (dropped records keep their canonical zeroed
+  /// execution fields). This is how a scenario program stitches per-phase
+  /// stores onto one session timeline; a shift of 0 appends exact copies.
+  void append_shifted(const RecordStore& other, double shift_ms);
+
   /// Materializes record `i` (AoS compatibility; not the hot path).
   InferenceRecord operator[](std::size_t i) const;
 

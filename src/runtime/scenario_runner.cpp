@@ -56,6 +56,20 @@ double deadline_ms(const InputSource& src, double model_fps, std::int64_t f) {
   return workload::ideal_arrival_ms(src, next);
 }
 
+/// Full tie-break for timeline entries: two dispatches can share a start
+/// time (distinct idle sub-accelerators at one event), and std::sort is not
+/// stable — keying on start_ms alone would let equal-time entries permute
+/// between runs or stdlib implementations. Shared by the single-run sort
+/// and the program merge re-sort.
+bool timeline_less(const BusyInterval& a, const BusyInterval& b) {
+  if (a.start_ms != b.start_ms) return a.start_ms < b.start_ms;
+  if (a.sub_accel != b.sub_accel) return a.sub_accel < b.sub_accel;
+  if (a.task != b.task) {
+    return models::task_index(a.task) < models::task_index(b.task);
+  }
+  return a.frame < b.frame;
+}
+
 /// Mutable state + dispatch machinery of one scenario run; owned by run()
 /// so the runner itself stays const / reusable. All per-model state lives
 /// in flat vectors indexed by the model's slot in the scenario (looked up
@@ -72,6 +86,11 @@ struct RunEngine {
   std::vector<InferenceRequest> pending;
   std::vector<char> accel_busy;
   std::vector<double> accel_busy_ms;
+  /// DVFS transition-latency penalty per sub-accelerator (0 = free level
+  /// switches, the bit-identical default) and the level of the previous
+  /// dispatch there (-1 before the first one).
+  std::vector<double> transition_ms;
+  std::vector<int> last_level;
   std::vector<BusyInterval> timeline;
   // Per-model state, indexed by scenario slot.
   std::vector<ModelRunStats> stats;
@@ -189,7 +208,15 @@ struct RunEngine {
           throw std::logic_error("Governor returned an invalid DVFS level");
         }
       }
-      const double latency = costs.latency_ms(req.task, sa, level);
+      double latency = costs.latency_ms(req.task, sa, level);
+      // Consecutive dispatches at different levels pay the PMU's switch
+      // cost before executing (PLL relock / voltage settle). The default
+      // penalty of 0 adds nothing, keeping penalty-free runs bit-identical.
+      if (transition_ms[sa] > 0.0 && last_level[sa] >= 0 &&
+          last_level[sa] != static_cast<int>(level)) {
+        latency += transition_ms[sa];
+      }
+      last_level[sa] = static_cast<int>(level);
       RunEngine* self = this;
       sim.schedule_after(latency, [self, req, sa, level, start] {
         self->on_complete(req, sa, level, start);
@@ -231,6 +258,11 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   eng.rng.reseed(config.seed);
   eng.accel_busy.assign(system_->sub_accels.size(), 0);
   eng.accel_busy_ms.assign(system_->sub_accels.size(), 0.0);
+  eng.last_level.assign(system_->sub_accels.size(), -1);
+  eng.transition_ms.resize(system_->sub_accels.size());
+  for (std::size_t sa = 0; sa < system_->sub_accels.size(); ++sa) {
+    eng.transition_ms[sa] = system_->sub_accels[sa].dvfs.transition_ms;
+  }
   eng.idle_scratch.reserve(system_->sub_accels.size());
 
   const std::size_t num_models = scenario.models.size();
@@ -323,19 +355,7 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   result.total_energy_mj = eng.total_energy_mj;
   result.sub_accel_busy_ms = std::move(eng.accel_busy_ms);
   result.timeline = std::move(eng.timeline);
-  // Full tie-break: two dispatches can share a start time (distinct idle
-  // sub-accelerators at one event), and std::sort is not stable — keying on
-  // start_ms alone would let equal-time entries permute between runs or
-  // stdlib implementations.
-  std::sort(result.timeline.begin(), result.timeline.end(),
-            [](const BusyInterval& a, const BusyInterval& b) {
-              if (a.start_ms != b.start_ms) return a.start_ms < b.start_ms;
-              if (a.sub_accel != b.sub_accel) return a.sub_accel < b.sub_accel;
-              if (a.task != b.task) {
-                return models::task_index(a.task) < models::task_index(b.task);
-              }
-              return a.frame < b.frame;
-            });
+  std::sort(result.timeline.begin(), result.timeline.end(), timeline_less);
   result.per_model.reserve(num_models);
   for (auto& ms : eng.stats) {
     // Same reasoning as the timeline sort: a frame index can repeat within
@@ -345,6 +365,84 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
     result.per_model.push_back(std::move(ms));
   }
   return result;
+}
+
+ScenarioRunResult ScenarioRunner::run_program(
+    const workload::ScenarioProgram& program, Scheduler& scheduler,
+    const RunConfig& config, FrequencyGovernor* governor) const {
+  workload::validate_program(program);
+
+  ScenarioRunResult out;
+  out.scenario_name = program.name;
+  out.sub_accel_busy_ms.assign(system_->sub_accels.size(), 0.0);
+  out.phase_start_ms.reserve(program.phases.size());
+  // Task -> slot in out.per_model; models merge by task across phases in
+  // first-seen (phase, slot) order, so a single-phase program's per_model
+  // layout is exactly the phase run's.
+  std::array<int, models::kNumTasks> merged_slot{};
+  merged_slot.fill(-1);
+
+  // Seed offsets are strided far apart (golden-ratio odd constant) so the
+  // consecutive trial seeds of a multi-trial average (base, base+1, ...)
+  // can never land on another trial's phase seed — small additive offsets
+  // would make trial t's phase at offset o replay trial t+o's phase at
+  // offset 0, silently correlating "independent" trials. Offset 0 keeps
+  // the seed untouched (the single-phase bit-identity anchor).
+  constexpr std::uint64_t kPhaseSeedStride = 0x9E3779B97F4A7C15ull;
+
+  double phase_start = 0.0;
+  for (const auto& phase : program.phases) {
+    RunConfig phase_config = config;
+    phase_config.duration_ms = phase.duration_ms;
+    phase_config.seed = config.seed + phase.seed_offset * kPhaseSeedStride;
+    // Each phase boundary retires in-flight work deterministically: run()
+    // drains every scheduled completion and drops whatever can no longer
+    // start — the same rule the end of a plain run applies — before the
+    // next phase's model set takes over on freshly idle hardware.
+    ScenarioRunResult phase_run =
+        run(phase.scenario, scheduler, phase_config, governor);
+
+    out.phase_start_ms.push_back(phase_start);
+    out.total_energy_mj += phase_run.total_energy_mj;
+    for (std::size_t sa = 0; sa < phase_run.sub_accel_busy_ms.size(); ++sa) {
+      out.sub_accel_busy_ms[sa] += phase_run.sub_accel_busy_ms[sa];
+    }
+    out.timeline.reserve(out.timeline.size() + phase_run.timeline.size());
+    for (BusyInterval iv : phase_run.timeline) {
+      iv.start_ms += phase_start;
+      iv.end_ms += phase_start;
+      out.timeline.push_back(iv);
+    }
+    for (auto& ms : phase_run.per_model) {
+      int& slot = merged_slot[models::task_index(ms.task)];
+      if (slot < 0) {
+        slot = static_cast<int>(out.per_model.size());
+        ModelRunStats fresh;
+        fresh.task = ms.task;
+        out.per_model.push_back(std::move(fresh));
+      }
+      auto& agg = out.per_model[static_cast<std::size_t>(slot)];
+      // A task's rate can change across phases; the last active phase's
+      // rate is kept (report-time metadata only — scoring reads records).
+      agg.target_fps = ms.target_fps;
+      agg.frames_expected += ms.frames_expected;
+      agg.frames_executed += ms.frames_executed;
+      agg.frames_dropped += ms.frames_dropped;
+      agg.deadline_misses += ms.deadline_misses;
+      agg.records.append_shifted(ms.records, phase_start);
+    }
+    phase_start += phase.duration_ms;
+  }
+  out.duration_ms = phase_start;
+
+  // Re-establish the canonical orders over the merged session: a completion
+  // can drain past its phase window, and per-model frame indices restart at
+  // every phase boundary, so plain concatenation is not sorted. Both sorts
+  // are deterministic total orders — for a single-phase program they are
+  // no-ops on the already-canonical phase result (the bit-identity anchor).
+  std::sort(out.timeline.begin(), out.timeline.end(), timeline_less);
+  for (auto& ms : out.per_model) ms.records.sort_canonical();
+  return out;
 }
 
 }  // namespace xrbench::runtime

@@ -11,6 +11,7 @@
 #include "runtime/request.h"
 #include "runtime/scheduler.h"
 #include "workload/scenario.h"
+#include "workload/scenario_program.h"
 
 namespace xrbench::runtime {
 
@@ -59,6 +60,10 @@ struct ScenarioRunResult {
   std::vector<BusyInterval> timeline;     ///< Figure-6-style execution log.
   std::vector<double> sub_accel_busy_ms;  ///< Busy time per sub-accelerator.
   double total_energy_mj = 0.0;
+  /// Session-timeline start of each phase when the result came from
+  /// run_program ({0} for a single-phase program); empty for plain
+  /// single-scenario runs.
+  std::vector<double> phase_start_ms;
 
   const ModelRunStats* find(models::TaskId task) const;
 
@@ -97,6 +102,24 @@ class ScenarioRunner {
   ScenarioRunResult run(const workload::UsageScenario& scenario,
                         Scheduler& scheduler, const RunConfig& config,
                         FrequencyGovernor* governor = nullptr) const;
+
+  /// Executes a scenario program as one continuous timeline. Each phase
+  /// runs for its duration with a seed derived from `config.seed` and the
+  /// phase's strided seed_offset (offset 0 = the run seed itself;
+  /// config.duration_ms is ignored — phases carry their own windows); at a
+  /// phase boundary every in-flight inference retires deterministically
+  /// (completions drain, undispatchable requests drop — exactly the
+  /// end-of-run rule) before the next phase's model set takes over.
+  /// Record/QoE/energy accounting is cumulative across phases: per-model
+  /// stats merge by task, record and timeline times are shifted onto the
+  /// session timeline, and `phase_start_ms` marks the boundaries. Policy
+  /// state (scheduler/governor) carries across boundaries — reset() is the
+  /// caller's per-run contract, not a per-phase one. A single-phase program
+  /// is bit-identical to run() on its scenario (the compatibility anchor,
+  /// enforced by test).
+  ScenarioRunResult run_program(const workload::ScenarioProgram& program,
+                                Scheduler& scheduler, const RunConfig& config,
+                                FrequencyGovernor* governor = nullptr) const;
 
  private:
   const hw::AcceleratorSystem* system_;

@@ -23,22 +23,30 @@ std::string lower(std::string s) {
 }  // namespace
 
 bool IniDocument::Section::has(const std::string& key) const {
-  for (const auto& [k, v] : entries) {
-    if (k == key) return true;
+  for (const auto& e : entries) {
+    if (e.key == key) return true;
   }
   return false;
 }
 
 const std::string& IniDocument::Section::get(const std::string& key) const {
   const std::string* found = nullptr;
-  for (const auto& [k, v] : entries) {
-    if (k == key) found = &v;  // last wins
+  for (const auto& e : entries) {
+    if (e.key == key) found = &e.value;  // last wins
   }
   if (found == nullptr) {
     throw std::out_of_range("ini: missing key '" + key + "' in section [" +
                             name + "]");
   }
   return *found;
+}
+
+int IniDocument::Section::line_of(const std::string& key) const {
+  int line = 0;
+  for (const auto& e : entries) {
+    if (e.key == key) line = e.line;  // last wins, matching get()
+  }
+  return line;
 }
 
 std::string IniDocument::Section::get_or(const std::string& key,
@@ -79,13 +87,13 @@ bool IniDocument::Section::get_bool(const std::string& key) const {
 }
 
 void IniDocument::Section::set(const std::string& key, std::string value) {
-  for (auto& [k, v] : entries) {
-    if (k == key) {
-      v = std::move(value);
+  for (auto& e : entries) {
+    if (e.key == key) {
+      e.value = std::move(value);
       return;
     }
   }
-  entries.emplace_back(key, std::move(value));
+  entries.push_back(Entry{key, std::move(value), 0});
 }
 
 void IniDocument::Section::set_double(const std::string& key, double value) {
@@ -119,6 +127,7 @@ IniDocument IniDocument::parse(const std::string& text) {
                                     std::to_string(line_no));
       }
       current = &doc.add_section(trim(line.substr(1, line.size() - 2)));
+      current->line = line_no;
       continue;
     }
     const auto eq = line.find('=');
@@ -130,7 +139,22 @@ IniDocument IniDocument::parse(const std::string& text) {
       throw std::invalid_argument("ini: entry before any section at line " +
                                   std::to_string(line_no));
     }
-    current->set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    // Not Section::set: duplicate keys must record the *latest* line so
+    // line_of() agrees with get()'s last-wins value.
+    const std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    bool replaced = false;
+    for (auto& e : current->entries) {
+      if (e.key == key) {
+        e.value = std::move(value);
+        e.line = line_no;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      current->entries.push_back(Entry{key, std::move(value), line_no});
+    }
   }
   return doc;
 }
@@ -149,8 +173,8 @@ std::string IniDocument::to_string() const {
   std::ostringstream os;
   for (const auto& sec : sections_) {
     os << '[' << sec.name << "]\n";
-    for (const auto& [k, v] : sec.entries) {
-      os << k << " = " << v << '\n';
+    for (const auto& e : sec.entries) {
+      os << e.key << " = " << e.value << '\n';
     }
     os << '\n';
   }
@@ -169,7 +193,7 @@ void IniDocument::save(const std::filesystem::path& path) const {
 }
 
 IniDocument::Section& IniDocument::add_section(std::string name) {
-  sections_.push_back(Section{std::move(name), {}});
+  sections_.push_back(Section{std::move(name), {}, 0});
   return sections_.back();
 }
 

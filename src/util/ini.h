@@ -20,10 +20,20 @@ namespace xrbench::util {
 /// workload::load/save.
 class IniDocument {
  public:
+  struct Entry {
+    std::string key;
+    std::string value;
+    /// 1-based source line of parsed input (0 for programmatic entries):
+    /// consumers raise "line N" diagnostics without re-scanning the text.
+    int line = 0;
+  };
+
   struct Section {
     std::string name;
-    // Insertion-ordered key/value pairs; duplicate keys keep last value.
-    std::vector<std::pair<std::string, std::string>> entries;
+    // Insertion-ordered entries; duplicate keys keep last value.
+    std::vector<Entry> entries;
+    /// Source line of the [section] header (0 when built programmatically).
+    int line = 0;
 
     bool has(const std::string& key) const;
     /// Returns the value or throws std::out_of_range naming section+key.
@@ -32,6 +42,8 @@ class IniDocument {
     double get_double(const std::string& key) const;
     std::int64_t get_int(const std::string& key) const;
     bool get_bool(const std::string& key) const;  ///< true/false/1/0/yes/no
+    /// Source line of `key` (last occurrence), or 0 when absent/programmatic.
+    int line_of(const std::string& key) const;
     void set(const std::string& key, std::string value);
     void set_double(const std::string& key, double value);
     void set_int(const std::string& key, std::int64_t value);

@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -60,6 +61,13 @@ std::string fmt_double(double v, int decimals) {
 
 std::string fmt_percent(double ratio, int decimals) {
   return fmt_double(ratio * 100.0, decimals) + "%";
+}
+
+std::string fmt_double_exact(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
 }
 
 }  // namespace xrbench::util

@@ -35,4 +35,9 @@ std::string fmt_double(double v, int decimals = 3);
 /// Formats a ratio as a percentage string, e.g. 0.471 -> "47.1%".
 std::string fmt_percent(double ratio, int decimals = 1);
 
+/// Exact-round-trip double formatting (max_digits10): for config keys that
+/// feed a bit-identity contract, where parse(format(x)) must reproduce x's
+/// every bit (DVFS ladders, program phase durations).
+std::string fmt_double_exact(double v);
+
 }  // namespace xrbench::util

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "workload/scenario.h"
+#include "workload/scenario_program.h"
 
 namespace xrbench::workload {
 
@@ -33,5 +34,36 @@ UsageScenario from_config_text(const std::string& text);
 void save_scenario(const UsageScenario& scenario,
                    const std::filesystem::path& path);
 UsageScenario load_scenario(const std::filesystem::path& path);
+
+/// Text-config serialization of scenario programs. Format:
+///
+///   [program]
+///   name = Commute Session
+///   description = walk -> transit -> walk
+///   scheduler = edf              ; optional PolicyRegistry names
+///   governor = deadline-aware    ; optional
+///
+///   [scenario]                   ; optional inline scenario definitions,
+///   name = Transit Idle          ; each followed by its [model] sections
+///   [model]
+///   task = KD
+///   fps = 3
+///
+///   [phase]                      ; one section per phase, in order
+///   scenario = AR Assistant      ; inline name, or a registered scenario
+///   duration_ms = 500
+///   seed_offset = 1              ; optional, default 0
+///
+/// Phase scenarios resolve against the file's inline definitions first,
+/// then against the built-in suite/extension registries. The writer inlines
+/// every phase scenario, so any program round-trips without relying on the
+/// registries.
+
+std::string to_config_text(const ScenarioProgram& program);
+ScenarioProgram program_from_config_text(const std::string& text);
+
+void save_program(const ScenarioProgram& program,
+                  const std::filesystem::path& path);
+ScenarioProgram load_program(const std::filesystem::path& path);
 
 }  // namespace xrbench::workload

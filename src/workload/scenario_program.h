@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace xrbench::workload {
+
+/// One phase of a scenario program: a usage scenario that is active for a
+/// window of the session timeline. The seed offset decorrelates the jitter
+/// and control-flow streams of phases that reuse a scenario (two "walk"
+/// phases of a hand-off program should not replay identical jitter); the
+/// runner strides offsets far apart in seed space, so consecutive trial
+/// seeds of a multi-trial average never collide with another trial's
+/// phases. Offset 0 leaves the run seed untouched.
+struct ScenarioPhase {
+  UsageScenario scenario;
+  double duration_ms = 1000.0;
+  std::uint64_t seed_offset = 0;
+};
+
+/// A scenario program (the paper's cascade-of-scenarios view of an XR
+/// session, §2/§3.3): an ordered list of phases executed as one continuous
+/// timeline. At each phase boundary the runner retires in-flight frames
+/// deterministically, swaps the active model set and keeps cumulative
+/// record/QoE accounting — a single-phase program is bit-identical to a
+/// plain single-scenario run (enforced by test; the compatibility anchor).
+struct ScenarioProgram {
+  std::string name;
+  std::string description;
+  /// Optional policy names resolved through runtime::PolicyRegistry ("edf",
+  /// "deadline-aware", ...). Empty = the harness's configured default. Kept
+  /// as plain strings so workload stays independent of the runtime layer.
+  std::string scheduler;
+  std::string governor;
+  std::vector<ScenarioPhase> phases;
+
+  double total_duration_ms() const;
+  std::size_t num_phases() const { return phases.size(); }
+};
+
+/// Wraps one scenario as a single-phase program (duration from the caller,
+/// seed offset 0) — the program-typed spelling of today's scenario run.
+ScenarioProgram single_phase_program(const UsageScenario& scenario,
+                                     double duration_ms);
+
+/// Throws std::invalid_argument when the program is malformed: no phases, a
+/// non-positive phase duration, or a phase scenario that fails the scenario
+/// validations (validate_dependency_rates and friends are re-checked by the
+/// runner, but programs are validated eagerly at build/parse time).
+void validate_program(const ScenarioProgram& program);
+
+/// True when any phase's scenario is dynamic (stochastic control flow), so
+/// benches should average multiple trials — the program analogue of
+/// is_dynamic_scenario.
+bool is_dynamic_program(const ScenarioProgram& program);
+
+/// Extension programs beyond the single-scenario suite, registered
+/// alongside extension_scenarios():
+///  * "Scenario Hand-Off"   — walk -> rest -> AR-assist hand-off between
+///    three Table-2 scenarios over one session.
+///  * "Multi-User Co-Presence" — a social session that peaks when a second
+///    user joins (union model set at elevated rates), then settles.
+///  * "Bursty Notification Over Base" — a low-power wearable baseline
+///    interrupted by a notification burst, then back to baseline.
+const std::vector<ScenarioProgram>& extension_programs();
+
+/// Looks a program up by name across extension_programs(). Throws on
+/// unknown name, listing the available programs.
+const ScenarioProgram& program_by_name(const std::string& name);
+
+}  // namespace xrbench::workload

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/harness.h"
 #include "hw/config_io.h"
 #include "workload/scenario_io.h"
 
@@ -75,6 +76,147 @@ TEST(HwConfigIo, RejectsInvalidConfigs) {
                    "num_pes = 0\nnoc_gbps = 1\noffchip_gbps = 1\n"
                    "sram_kib = 1\n"),
                std::invalid_argument);  // zero PEs
+}
+
+TEST(HwConfigIo, DvfsTableRoundTripsExactly) {
+  auto original = hw::with_default_dvfs(hw::make_accelerator('J', 8192));
+  for (auto& sa : original.sub_accels) sa.dvfs.transition_ms = 0.125;
+  const auto text = hw::to_config_text(original);
+  const auto loaded = hw::from_config_text(text);
+  ASSERT_EQ(loaded.sub_accels.size(), original.sub_accels.size());
+  for (std::size_t i = 0; i < loaded.sub_accels.size(); ++i) {
+    const auto& da = loaded.sub_accels[i].dvfs;
+    const auto& db = original.sub_accels[i].dvfs;
+    // Exact equality: the ladder feeds the bit-identity contract, so the
+    // writer emits max_digits10 and the parser must get every bit back.
+    ASSERT_EQ(da.levels.size(), db.levels.size());
+    for (std::size_t l = 0; l < da.levels.size(); ++l) {
+      EXPECT_EQ(da.levels[l].freq_ghz, db.levels[l].freq_ghz);
+      EXPECT_EQ(da.levels[l].voltage_v, db.levels[l].voltage_v);
+    }
+    EXPECT_EQ(da.nominal_level, db.nominal_level);
+    EXPECT_EQ(da.transition_ms, db.transition_ms);
+  }
+}
+
+TEST(HwConfigIo, DvfsRoundTripsNonShortDecimalClocks) {
+  // A clock like 1/1.2 GHz has no short decimal form; the writer must emit
+  // it (and the anchored nominal ladder level) at full precision or the
+  // library rejects its own output at the exact-equality anchor check.
+  auto original = hw::make_accelerator('J', 8192);
+  for (auto& sa : original.sub_accels) sa.clock_ghz = 1.0 / 1.2;
+  original = hw::with_default_dvfs(std::move(original));
+  const auto loaded = hw::from_config_text(hw::to_config_text(original));
+  ASSERT_EQ(loaded.sub_accels.size(), original.sub_accels.size());
+  for (std::size_t i = 0; i < loaded.sub_accels.size(); ++i) {
+    EXPECT_EQ(loaded.sub_accels[i].clock_ghz, original.sub_accels[i].clock_ghz);
+    // noc/offchip round-trip through a gbps <-> bytes/cycle conversion, so
+    // only near-equality is promised; the exact-equality contract is on the
+    // clock/ladder pair the anchor check compares.
+    EXPECT_NEAR(loaded.sub_accels[i].noc_bytes_per_cycle,
+                original.sub_accels[i].noc_bytes_per_cycle, 1e-9);
+    EXPECT_EQ(loaded.sub_accels[i].dvfs.nominal_level,
+              original.sub_accels[i].dvfs.nominal_level);
+    EXPECT_TRUE(loaded.sub_accels[i].dvfs.anchored_at(
+        loaded.sub_accels[i].clock_ghz));
+  }
+}
+
+TEST(HwConfigIo, DvfsParsesHandWrittenLadder) {
+  const auto sys = hw::from_config_text(
+      "[chip]\n"
+      "id = X\n"
+      "clock_ghz = 1\n"
+      "[sub_accel]\n"
+      "dataflow = WS\n"
+      "num_pes = 1024\n"
+      "noc_gbps = 64\n"
+      "offchip_gbps = 8\n"
+      "sram_kib = 2048\n"
+      "dvfs_levels = 0.5@0.62, 1@0.8, 1.2@0.9\n"
+      "dvfs_transition_ms = 0.25\n");
+  ASSERT_EQ(sys.sub_accels.size(), 1u);
+  const auto& dvfs = sys.sub_accels[0].dvfs;
+  ASSERT_EQ(dvfs.levels.size(), 3u);
+  // No dvfs_nominal key: the level at the chip clock is inferred.
+  EXPECT_EQ(dvfs.nominal_level, 1u);
+  EXPECT_EQ(dvfs.levels[0].freq_ghz, 0.5);
+  EXPECT_EQ(dvfs.levels[2].voltage_v, 0.9);
+  EXPECT_EQ(dvfs.transition_ms, 0.25);
+  EXPECT_TRUE(dvfs.valid());
+  EXPECT_TRUE(dvfs.anchored_at(1.0));
+}
+
+TEST(HwConfigIo, DvfsRejectsNonMonotonicLadderWithLineNumber) {
+  const std::string config =
+      "[chip]\n"                             // line 1
+      "id = X\n"                             // line 2
+      "clock_ghz = 1\n"                      // line 3
+      "[sub_accel]\n"                        // line 4
+      "dataflow = WS\n"                      // line 5
+      "num_pes = 1024\n"                     // line 6
+      "noc_gbps = 64\n"                      // line 7
+      "offchip_gbps = 8\n"                   // line 8
+      "sram_kib = 2048\n"                    // line 9
+      "dvfs_levels = 1@0.8, 0.5@0.62\n";     // line 10: descending
+  try {
+    hw::from_config_text(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 10"), std::string::npos) << message;
+    EXPECT_NE(message.find("ascending"), std::string::npos) << message;
+  }
+}
+
+TEST(HwConfigIo, DvfsRejectsOtherMalformedLadders) {
+  const std::string prefix =
+      "[chip]\nid = X\nclock_ghz = 1\n[sub_accel]\ndataflow = WS\n"
+      "num_pes = 1024\nnoc_gbps = 64\noffchip_gbps = 8\nsram_kib = 2048\n";
+  // Non-numeric entry.
+  EXPECT_THROW(hw::from_config_text(prefix + "dvfs_levels = abc@0.8\n"),
+               std::invalid_argument);
+  // Missing voltage separator.
+  EXPECT_THROW(hw::from_config_text(prefix + "dvfs_levels = 1.0\n"),
+               std::invalid_argument);
+  // Non-positive voltage.
+  EXPECT_THROW(hw::from_config_text(prefix + "dvfs_levels = 1@0\n"),
+               std::invalid_argument);
+  // Nominal index out of range.
+  EXPECT_THROW(hw::from_config_text(prefix +
+                                    "dvfs_levels = 0.5@0.6, 1@0.8\n"
+                                    "dvfs_nominal = 5\n"),
+               std::invalid_argument);
+  // No level at the chip clock and no explicit nominal.
+  EXPECT_THROW(hw::from_config_text(prefix + "dvfs_levels = 0.5@0.6\n"),
+               std::invalid_argument);
+  // Explicit nominal not anchored at the chip clock.
+  EXPECT_THROW(hw::from_config_text(prefix +
+                                    "dvfs_levels = 0.5@0.6, 1@0.8\n"
+                                    "dvfs_nominal = 0\n"),
+               std::invalid_argument);
+  // Negative transition penalty.
+  EXPECT_THROW(hw::from_config_text(prefix + "dvfs_transition_ms = -1\n"),
+               std::invalid_argument);
+}
+
+TEST(HwConfigIo, DvfsConfigDrivesBitIdenticalRuns) {
+  // A system round-tripped through the text format produces byte-identical
+  // cost tables (spot-checked through a governed run).
+  const auto original = hw::with_default_dvfs(hw::make_accelerator('J', 4096));
+  const auto loaded = hw::from_config_text(hw::to_config_text(original));
+  core::HarnessOptions opt;
+  opt.governor = "deadline-aware";
+  const core::Harness a(original, opt);
+  const core::Harness b(loaded, opt);
+  const auto ra = a.run_once(workload::scenario_by_name("AR Gaming"), 42);
+  const auto rb = b.run_once(workload::scenario_by_name("AR Gaming"), 42);
+  EXPECT_EQ(ra.total_energy_mj, rb.total_energy_mj);
+  ASSERT_EQ(ra.timeline.size(), rb.timeline.size());
+  for (std::size_t i = 0; i < ra.timeline.size(); ++i) {
+    EXPECT_EQ(ra.timeline[i].start_ms, rb.timeline[i].start_ms);
+    EXPECT_EQ(ra.timeline[i].end_ms, rb.timeline[i].end_ms);
+  }
 }
 
 TEST(HwConfigIo, StyleParsing) {

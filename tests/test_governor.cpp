@@ -247,7 +247,7 @@ TEST_F(GovernorTest, NamesAndKinds) {
 core::ScenarioOutcome run_with(const hw::AcceleratorSystem& system,
                                const std::string& scenario, GovernorKind gov) {
   core::HarnessOptions opt;
-  opt.governor = gov;
+  opt.governor = governor_kind_name(gov);
   opt.dynamic_trials = 5;
   const core::Harness harness(system, opt);
   return harness.run_scenario(workload::scenario_by_name(scenario));

@@ -50,9 +50,9 @@ TEST(Harness, SuiteCoversAllScenarios) {
 
 TEST(Harness, SchedulerChoiceChangesOutcomes) {
   HarnessOptions greedy;
-  greedy.scheduler = runtime::SchedulerKind::kLatencyGreedy;
+  greedy.scheduler = "latency-greedy";
   HarnessOptions rr;
-  rr.scheduler = runtime::SchedulerKind::kRoundRobin;
+  rr.scheduler = "round-robin";
   Harness hg(hw::make_accelerator('J', 4096), greedy);
   Harness hr(hw::make_accelerator('J', 4096), rr);
   const auto g = hg.run_scenario(scenario_by_name("AR Gaming"));

@@ -191,19 +191,19 @@ TEST(Integration, SchedulerPolicyIsAFirstOrderKnob) {
   // round-robin on the overloaded AR-gaming scenario; (2) the slack-aware
   // policy protects more PlaneRCNN frames than greedy at 4K (at some cost
   // elsewhere).
-  auto run_with = [](runtime::SchedulerKind kind, std::int64_t pes) {
+  auto run_with = [](const std::string& scheduler, std::int64_t pes) {
     HarnessOptions opt;
-    opt.scheduler = kind;
+    opt.scheduler = scheduler;
     Harness h(hw::make_accelerator('J', pes), opt);
     return h.run_scenario(scenario_by_name("AR Gaming"));
   };
   for (std::int64_t pes : {4096ll, 8192ll}) {
-    const auto greedy = run_with(runtime::SchedulerKind::kLatencyGreedy, pes);
-    const auto rr = run_with(runtime::SchedulerKind::kRoundRobin, pes);
+    const auto greedy = run_with("latency-greedy", pes);
+    const auto rr = run_with("round-robin", pes);
     EXPECT_GT(greedy.score.overall, rr.score.overall) << pes;
   }
-  const auto greedy4 = run_with(runtime::SchedulerKind::kLatencyGreedy, 4096);
-  const auto slack4 = run_with(runtime::SchedulerKind::kSlackAware, 4096);
+  const auto greedy4 = run_with("latency-greedy", 4096);
+  const auto slack4 = run_with("slack-aware", 4096);
   EXPECT_GE(slack4.score.find(TaskId::kPD)->qoe,
             greedy4.score.find(TaskId::kPD)->qoe);
 }
