@@ -81,11 +81,49 @@ int main() {
     std::cout << "\n";
   }
 
+  // ---- Idle-power section -------------------------------------------------
+  // The same design with a 40 mW idle term per sub-accelerator: idle time
+  // now costs energy at the PARKED level's voltage, so race-to-idle (sprint,
+  // park lowest) finally separates from fixed-highest (park where it ran)
+  // in total energy, and the history-aware governors show their idle
+  // discipline. Scores are unchanged by the idle term (it is not a
+  // per-inference quantity); the new column is the run's total mJ.
+  auto idle_dvfs = hw::default_dvfs_state(1.0);
+  idle_dvfs.idle_mw = 40.0;
+  const auto idle_system =
+      hw::with_dvfs(hw::make_accelerator('J', 4096), idle_dvfs);
+
+  std::vector<core::ScenarioSweepPoint> idle_points;
+  for (const auto& name : scenario_names) {
+    for (const auto& governor : governors) {
+      core::HarnessOptions opt;
+      opt.governor = governor;
+      idle_points.push_back({name + "/" + governor + "+idle", idle_system,
+                             opt, workload::scenario_by_name(name)});
+    }
+  }
+  const auto idle_outcomes = engine.run_scenario_points(idle_points);
+  for (std::size_t s = 0; s < scenario_names.size(); ++s) {
+    std::cout << "=== With 40 mW idle power: " << scenario_names[s]
+              << " (energy totals incl. parked-level idle) ===\n\n";
+    util::TablePrinter table(
+        {"Governor", "Overall", "QoE", "Total mJ (last trial)"});
+    for (std::size_t g = 0; g < per_scenario; ++g) {
+      const auto& out = idle_outcomes[s * per_scenario + g];
+      total_runs += out.trials;
+      table.add_row({governors[g], util::fmt_double(out.score.overall),
+                     util::fmt_double(out.score.qoe),
+                     util::fmt_double(out.last_run.total_energy_mj, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
   std::cout << "Slowing to the deadline trades real-time margin for energy "
                "score; race-to-idle buys scheduling slack at the highest V/f "
-               "cost (appendix B.1's DVFS remark). Race-to-idle matches "
-               "fixed-highest exactly until an idle-power term lands in the "
-               "cost model.\n"
+               "cost (appendix B.1's DVFS remark). With the idle-power term "
+               "race-to-idle undercuts fixed-highest by parking low, and "
+               "ondemand undercuts both by only sprinting under load.\n"
             << "CSV written to bench_output/ablation_dvfs.csv\n";
   bench.set_runs(total_runs);
   return 0;

@@ -21,12 +21,17 @@ namespace {
 
 /// Serves ES/GE requests before anything else; within a class, earliest
 /// deadline first; always on the fastest idle sub-accelerator.
+///
+/// User policies implement pick() against runtime::DispatchContext — one
+/// context shared with governors, carrying pending work, idle hardware, the
+/// CostTable, the hardware view and the runtime Telemetry (ctx.telemetry),
+/// so a custom policy can be history-aware with no extra plumbing.
 class EyeFirstScheduler final : public runtime::Scheduler {
  public:
   const char* name() const override { return "eye-first"; }
 
   std::optional<runtime::Assignment> pick(
-      const runtime::SchedulerContext& ctx) override {
+      const runtime::DispatchContext& ctx) override {
     if (ctx.pending == nullptr || ctx.pending->empty() ||
         ctx.idle_sub_accels == nullptr || ctx.idle_sub_accels->empty()) {
       return std::nullopt;

@@ -19,7 +19,12 @@
 //     --k <val>                 real-time sigmoid steepness (default 15)
 //     --csv <file>              dump per-scenario scores to CSV
 //     --timeline                print execution timelines
-//     --list-policies           print registered schedulers/governors
+//     --report                  print the per-sub-accelerator energy
+//                               breakdown (dynamic/static/idle mJ, sourced
+//                               from the runtime telemetry)
+//     --energy-csv <file>       dump that breakdown to CSV (scenario and
+//                               program runs)
+//     --list-policies           print registered schedulers/governors/programs
 //
 // Program runs go through the SweepEngine, so XRBENCH_THREADS picks the
 // worker count — the report is byte-identical at any count.
@@ -94,7 +99,9 @@ int main(int argc, char** argv) {
   std::optional<std::string> program_name;
   std::optional<std::string> program_config;
   std::optional<std::string> csv_path;
+  std::optional<std::string> energy_csv_path;
   bool timeline = false;
+  bool report = false;
   bool scheduler_flag = false;
   bool governor_flag = false;
   core::HarnessOptions opt;
@@ -127,7 +134,9 @@ int main(int argc, char** argv) {
       else if (arg == "--enmax") opt.score.enmax_mj = std::stod(next());
       else if (arg == "--k") opt.score.k = std::stod(next());
       else if (arg == "--csv") csv_path = next();
+      else if (arg == "--energy-csv") energy_csv_path = next();
       else if (arg == "--timeline") timeline = true;
+      else if (arg == "--report") report = true;
       else if (arg == "--list-policies") {
         list_policies();
         return 0;
@@ -141,6 +150,20 @@ int main(int argc, char** argv) {
   try {
     const auto system = hw_config ? hw::load_accelerator(*hw_config)
                                   : hw::make_accelerator(accel_id, pes);
+
+    // Shared tail of the program/scenario branches: the telemetry-sourced
+    // energy breakdown, printed and/or dumped per the flags.
+    auto emit_breakdown = [&](const runtime::ScenarioRunResult& run) {
+      if (report) {
+        std::cout << "\n";
+        core::print_energy_breakdown(std::cout, run);
+      }
+      if (energy_csv_path) {
+        core::write_energy_breakdown_csv(*energy_csv_path, run);
+        std::cout << "\nEnergy breakdown written to " << *energy_csv_path
+                  << "\n";
+      }
+    };
 
     if (program_name || program_config) {
       auto program = program_config
@@ -161,6 +184,7 @@ int main(int argc, char** argv) {
         core::print_timeline(std::cout, out.last_run,
                              out.last_run.duration_ms, 10.0);
       }
+      emit_breakdown(out.last_run);
       return 0;
     }
 
@@ -176,11 +200,24 @@ int main(int argc, char** argv) {
         std::cout << "\n";
         core::print_timeline(std::cout, out.last_run);
       }
+      emit_breakdown(out.last_run);
       return 0;
     }
 
+    if (energy_csv_path) {
+      // The breakdown CSV is a per-run artifact; a full-suite run has one
+      // per scenario and no canonical choice, so fail loudly instead of
+      // silently dropping the flag.
+      usage_error("--energy-csv requires --scenario or --program");
+    }
     const auto outcome = harness.run_suite();
     core::print_benchmark_report(std::cout, outcome);
+    if (report) {
+      for (const auto& sc : outcome.scenarios) {
+        std::cout << "\n";
+        core::print_energy_breakdown(std::cout, sc.last_run);
+      }
+    }
     if (timeline) {
       for (const auto& sc : outcome.scenarios) {
         std::cout << "\n";

@@ -28,7 +28,8 @@ Harness::Harness(hw::AcceleratorSystem system, HarnessOptions options)
 }
 
 runtime::ScenarioRunResult Harness::run_once(
-    const workload::UsageScenario& scenario, std::uint64_t seed) const {
+    const workload::UsageScenario& scenario, std::uint64_t seed,
+    runtime::RunScratch* scratch) const {
   runtime::RunConfig cfg = options_.run;
   cfg.seed = seed;
   const auto& registry = runtime::PolicyRegistry::instance();
@@ -37,11 +38,12 @@ runtime::ScenarioRunResult Harness::run_once(
   auto governor = registry.make_governor_map(options_.governor,
                                              options_.governor_overrides);
   governor->reset();
-  return runner_.run(scenario, *scheduler, cfg, governor.get());
+  return runner_.run(scenario, *scheduler, cfg, governor.get(), scratch);
 }
 
 runtime::ScenarioRunResult Harness::run_program_once(
-    const workload::ScenarioProgram& program, std::uint64_t seed) const {
+    const workload::ScenarioProgram& program, std::uint64_t seed,
+    runtime::RunScratch* scratch) const {
   runtime::RunConfig cfg = options_.run;
   cfg.seed = seed;
   const auto& registry = runtime::PolicyRegistry::instance();
@@ -52,22 +54,31 @@ runtime::ScenarioRunResult Harness::run_program_once(
       program.governor.empty() ? options_.governor : program.governor,
       options_.governor_overrides);
   governor->reset();
-  return runner_.run_program(program, *scheduler, cfg, governor.get());
+  return runner_.run_program(program, *scheduler, cfg, governor.get(),
+                             scratch);
 }
 
 namespace {
 
 /// Shared trial-averaging shape of run_scenario / run_program: runs
-/// `trials` raw runs with consecutive seeds and averages their scores.
+/// `trials` raw runs with consecutive seeds and averages their scores. One
+/// RunScratch spans the loop — trial t+1 reuses trial t's arenas (record
+/// stores, timeline, simulator event pool), recycled after scoring.
 template <typename RunOnce>
 ScenarioOutcome run_trials(int trials, std::uint64_t base_seed,
                            const ScoreConfig& score, RunOnce&& run_once) {
   std::vector<ScenarioScore> trial_scores;
   trial_scores.reserve(static_cast<std::size_t>(trials));
+  runtime::RunScratch scratch;
   runtime::ScenarioRunResult last;
   for (int t = 0; t < trials; ++t) {
-    last = run_once(base_seed + static_cast<std::uint64_t>(t));
-    trial_scores.push_back(score_scenario(last, score));
+    auto run = run_once(base_seed + static_cast<std::uint64_t>(t), &scratch);
+    trial_scores.push_back(score_scenario(run, score));
+    if (t == trials - 1) {
+      last = std::move(run);
+    } else {
+      scratch.recycle(std::move(run));
+    }
   }
   ScenarioOutcome outcome;
   outcome.score = average_scores(trial_scores);
@@ -84,7 +95,9 @@ ScenarioOutcome Harness::run_scenario(
                          ? std::max(1, options_.dynamic_trials)
                          : 1;
   return run_trials(trials, options_.run.seed, options_.score,
-                    [&](std::uint64_t seed) { return run_once(scenario, seed); });
+                    [&](std::uint64_t seed, runtime::RunScratch* scratch) {
+                      return run_once(scenario, seed, scratch);
+                    });
 }
 
 ScenarioOutcome Harness::run_program(
@@ -93,8 +106,8 @@ ScenarioOutcome Harness::run_program(
                          ? std::max(1, options_.dynamic_trials)
                          : 1;
   return run_trials(trials, options_.run.seed, options_.score,
-                    [&](std::uint64_t seed) {
-                      return run_program_once(program, seed);
+                    [&](std::uint64_t seed, runtime::RunScratch* scratch) {
+                      return run_program_once(program, seed, scratch);
                     });
 }
 

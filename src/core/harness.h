@@ -77,8 +77,14 @@ class Harness {
   const runtime::CostTable& cost_table() const { return *cost_table_; }
 
   /// One raw run of `scenario` with an explicit seed (no score averaging).
+  /// A non-null `scratch` reuses that arena across runs (bit-identical
+  /// results; trial loops pass one so the big per-trial allocations —
+  /// simulator event pool, record arenas, request/timeline vectors — are
+  /// reused instead of reallocated).
   runtime::ScenarioRunResult run_once(const workload::UsageScenario& scenario,
-                                      std::uint64_t seed) const;
+                                      std::uint64_t seed,
+                                      runtime::RunScratch* scratch =
+                                          nullptr) const;
 
   /// Benchmarks one scenario; dynamic scenarios are averaged over
   /// options.dynamic_trials trials (seeds seed, seed+1, ...).
@@ -88,7 +94,8 @@ class Harness {
   /// A program naming its own scheduler/governor overrides the harness
   /// options for that run.
   runtime::ScenarioRunResult run_program_once(
-      const workload::ScenarioProgram& program, std::uint64_t seed) const;
+      const workload::ScenarioProgram& program, std::uint64_t seed,
+      runtime::RunScratch* scratch = nullptr) const;
 
   /// Benchmarks one program; programs with any dynamic phase are averaged
   /// over options.dynamic_trials trials, mirroring run_scenario.

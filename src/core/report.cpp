@@ -111,6 +111,52 @@ void print_timeline(std::ostream& os, const runtime::ScenarioRunResult& run,
   }
 }
 
+void print_energy_breakdown(std::ostream& os,
+                            const runtime::ScenarioRunResult& run) {
+  const runtime::Telemetry& tel = run.telemetry;
+  os << "Energy breakdown (" << run.scenario_name
+     << ", accelerator terms from runtime telemetry)\n";
+  TablePrinter table({"Sub-accel", "Busy ms", "Idle ms", "Util", "Dynamic mJ",
+                      "Static mJ", "Idle mJ", "Total mJ"});
+  double accel_total = 0.0;
+  for (std::size_t sa = 0; sa < tel.num_sub_accels(); ++sa) {
+    const auto& sub = tel.sub_accel(sa);
+    const double total = sub.dynamic_mj + sub.static_mj + sub.idle_mj;
+    accel_total += total;
+    table.add_row({std::to_string(sa), fmt_double(sub.busy_ms, 1),
+                   fmt_double(sub.idle_ms, 1),
+                   fmt_percent(sub.utilization()),
+                   fmt_double(sub.dynamic_mj, 2), fmt_double(sub.static_mj, 2),
+                   fmt_double(sub.idle_mj, 2), fmt_double(total, 2)});
+  }
+  table.print(os);
+  os << "Accelerator energy: " << fmt_double(accel_total, 2)
+     << " mJ; run total (incl. device baseline): "
+     << fmt_double(run.total_energy_mj, 2) << " mJ\n";
+}
+
+void write_energy_breakdown_csv(const std::filesystem::path& path,
+                                const runtime::ScenarioRunResult& run) {
+  util::CsvWriter csv(path);
+  csv.header({"sub_accel", "busy_ms", "idle_ms", "utilization", "util_ewma",
+              "dispatches", "dynamic_mj", "static_mj", "idle_mj", "total_mj"});
+  const runtime::Telemetry& tel = run.telemetry;
+  for (std::size_t sa = 0; sa < tel.num_sub_accels(); ++sa) {
+    const auto& sub = tel.sub_accel(sa);
+    csv.row({util::CsvWriter::cell(static_cast<std::int64_t>(sa)),
+             util::CsvWriter::cell(sub.busy_ms),
+             util::CsvWriter::cell(sub.idle_ms),
+             util::CsvWriter::cell(sub.utilization()),
+             util::CsvWriter::cell(sub.util_ewma),
+             util::CsvWriter::cell(sub.dispatches),
+             util::CsvWriter::cell(sub.dynamic_mj),
+             util::CsvWriter::cell(sub.static_mj),
+             util::CsvWriter::cell(sub.idle_mj),
+             util::CsvWriter::cell(sub.dynamic_mj + sub.static_mj +
+                                   sub.idle_mj)});
+  }
+}
+
 void write_inference_log_csv(const std::filesystem::path& path,
                              const runtime::ScenarioRunResult& run) {
   util::CsvWriter csv(path);

@@ -25,6 +25,22 @@ void print_scenario_report(std::ostream& os, const ScenarioOutcome& outcome);
 void print_timeline(std::ostream& os, const runtime::ScenarioRunResult& run,
                     double until_ms = 600.0, double resolution_ms = 5.0);
 
+/// Prints the per-sub-accelerator energy breakdown of one run, sourced from
+/// the runtime telemetry: busy/idle time, utilization, and the
+/// dynamic / static / idle mJ split (idle is 0 unless the hardware declares
+/// hw::DvfsState::idle_mw). The accelerator columns sum to less than the
+/// run's total energy when RunConfig::system_baseline_w amortizes a
+/// device-level baseline into per-inference energies; the footer separates
+/// that share out.
+void print_energy_breakdown(std::ostream& os,
+                            const runtime::ScenarioRunResult& run);
+
+/// Dumps the same per-sub-accelerator energy breakdown to CSV (sub_accel,
+/// busy_ms, idle_ms, utilization, util_ewma, dispatches, dynamic_mj,
+/// static_mj, idle_mj, total_mj).
+void write_energy_breakdown_csv(const std::filesystem::path& path,
+                                const runtime::ScenarioRunResult& run);
+
 /// Dumps per-inference records of one run to CSV (task, frame, treq,
 /// deadline, dispatch, completion, latency, energy, dropped).
 void write_inference_log_csv(const std::filesystem::path& path,

@@ -41,6 +41,7 @@ bool same_sub_accel(const costmodel::SubAccelConfig& a,
       a.sram_bytes != b.sram_bytes ||
       a.dvfs.nominal_level != b.dvfs.nominal_level ||
       a.dvfs.transition_ms != b.dvfs.transition_ms ||
+      a.dvfs.idle_mw != b.dvfs.idle_mw ||
       a.dvfs.levels.size() != b.dvfs.levels.size()) {
     return false;
   }
@@ -111,20 +112,28 @@ TrialPolicies make_policies(const HarnessOptions& options,
 }
 
 /// One trial: fresh scheduler, shared read-only cost table, deterministic
-/// seed = base seed + trial index. Identical to Harness::run_once.
+/// seed = base seed + trial index. Identical to Harness::run_once. The
+/// worker's scratch arena (when provided) is reused across the trials that
+/// land on that worker and recycled after scoring — only the kept last run
+/// escapes the pool.
 void run_trial(const hw::AcceleratorSystem& system,
                const runtime::CostTable& table,
                const workload::UsageScenario& scenario,
-               const HarnessOptions& options, int trial, ScenarioWork& work) {
+               const HarnessOptions& options, int trial, ScenarioWork& work,
+               runtime::RunScratch* scratch) {
   runtime::RunConfig cfg = options.run;
   cfg.seed += static_cast<std::uint64_t>(trial);
   auto policies = make_policies(options, "", "");
   const runtime::ScenarioRunner runner(system, table);
-  auto run =
-      runner.run(scenario, *policies.scheduler, cfg, policies.governor.get());
+  auto run = runner.run(scenario, *policies.scheduler, cfg,
+                        policies.governor.get(), scratch);
   work.trial_scores[static_cast<std::size_t>(trial)] =
       score_scenario(run, options.score);
-  if (trial == work.trials - 1) work.last_run = std::move(run);
+  if (trial == work.trials - 1) {
+    work.last_run = std::move(run);
+  } else if (scratch != nullptr) {
+    scratch->recycle(std::move(run));
+  }
 }
 
 /// One program trial — the run_program analogue, identical to
@@ -133,16 +142,20 @@ void run_program_trial(const hw::AcceleratorSystem& system,
                        const runtime::CostTable& table,
                        const workload::ScenarioProgram& program,
                        const HarnessOptions& options, int trial,
-                       ScenarioWork& work) {
+                       ScenarioWork& work, runtime::RunScratch* scratch) {
   runtime::RunConfig cfg = options.run;
   cfg.seed += static_cast<std::uint64_t>(trial);
   auto policies = make_policies(options, program.scheduler, program.governor);
   const runtime::ScenarioRunner runner(system, table);
   auto run = runner.run_program(program, *policies.scheduler, cfg,
-                                policies.governor.get());
+                                policies.governor.get(), scratch);
   work.trial_scores[static_cast<std::size_t>(trial)] =
       score_scenario(run, options.score);
-  if (trial == work.trials - 1) work.last_run = std::move(run);
+  if (trial == work.trials - 1) {
+    work.last_run = std::move(run);
+  } else if (scratch != nullptr) {
+    scratch->recycle(std::move(run));
+  }
 }
 
 ScenarioOutcome assemble(ScenarioWork&& work) {
@@ -229,7 +242,13 @@ std::vector<ScenarioOutcome> run_grouped_points(
 
 }  // namespace
 
-SweepEngine::SweepEngine(std::size_t num_threads) : pool_(num_threads) {}
+SweepEngine::SweepEngine(std::size_t num_threads)
+    : pool_(num_threads), scratch_(pool_.num_threads() + 1) {}
+
+runtime::RunScratch* SweepEngine::worker_scratch() {
+  const std::size_t slot = util::ThreadPool::current_worker_slot();
+  return slot < scratch_.size() ? &scratch_[slot] : nullptr;
+}
 
 SweepEngine::~SweepEngine() = default;
 
@@ -283,10 +302,11 @@ std::vector<BenchmarkOutcome> SweepEngine::run_suite_points(
             static_cast<int>(trial_chunk(trials, pool_.num_threads()));
         for (int t0 = 0; t0 < trials; t0 += chunk) {
           const int t1 = std::min(trials, t0 + chunk);
-          batch.push_back([&points, &work, &suite, p, s, t0, t1] {
+          batch.push_back([this, &points, &work, &suite, p, s, t0, t1] {
             for (int t = t0; t < t1; ++t) {
               run_trial(points[p].system, *work[p].table, suite[s],
-                        points[p].options, t, work[p].scenarios[s]);
+                        points[p].options, t, work[p].scenarios[s],
+                        worker_scratch());
             }
           });
         }
@@ -326,10 +346,10 @@ std::vector<ScenarioOutcome> SweepEngine::run_scenario_points(
       [](const ScenarioSweepPoint& p) {
         return trials_for(p.scenario, p.options);
       },
-      [&points](std::size_t p, const runtime::CostTable& table, int t,
-                ScenarioWork& w) {
+      [this, &points](std::size_t p, const runtime::CostTable& table, int t,
+                      ScenarioWork& w) {
         run_trial(points[p].system, table, points[p].scenario,
-                  points[p].options, t, w);
+                  points[p].options, t, w, worker_scratch());
       });
 }
 
@@ -349,10 +369,10 @@ std::vector<ScenarioOutcome> SweepEngine::run_program_points(
       [](const ProgramSweepPoint& p) {
         return trials_for(p.program, p.options);
       },
-      [&points](std::size_t p, const runtime::CostTable& table, int t,
-                ScenarioWork& w) {
+      [this, &points](std::size_t p, const runtime::CostTable& table, int t,
+                      ScenarioWork& w) {
         run_program_trial(points[p].system, table, points[p].program,
-                          points[p].options, t, w);
+                          points[p].options, t, w, worker_scratch());
       });
 }
 

@@ -52,6 +52,13 @@ struct ProgramSweepPoint {
 /// constructor for "auto" (XRBENCH_THREADS env var when set, else hardware
 /// concurrency). A count of 0 runs every job inline on the calling thread
 /// (the serial baseline).
+///
+/// Arena reuse: every task-running thread (each pool worker plus the
+/// calling thread in inline mode) owns a runtime::RunScratch keyed by
+/// util::ThreadPool::current_worker_slot(); consecutive trials on one
+/// worker reuse the same simulator event pool, request/timeline vectors and
+/// SoA record arenas instead of reallocating them (results stay
+/// bit-identical — reuse is invisible to the determinism contract).
 class SweepEngine {
  public:
   SweepEngine() : SweepEngine(util::ThreadPool::default_num_threads()) {}
@@ -103,7 +110,15 @@ class SweepEngine {
   costmodel::AnalyticalCostModel& model_for(
       const costmodel::EnergyParams& energy);
 
+  /// The calling thread's per-worker scratch arena, or null when the call
+  /// comes from a thread outside this engine's pool slots (a foreign
+  /// pool's worker) — the runner then falls back to a local arena.
+  runtime::RunScratch* worker_scratch();
+
   util::ThreadPool pool_;
+  /// One arena per task-running thread: slot 0 = the calling thread
+  /// (inline mode), slots 1..N = pool workers.
+  std::vector<runtime::RunScratch> scratch_;
   std::vector<std::pair<costmodel::EnergyParams,
                         std::unique_ptr<costmodel::AnalyticalCostModel>>>
       models_;

@@ -491,4 +491,18 @@ ModelCost AnalyticalCostModel::model_cost_at(const ModelGraph& graph,
   return mc;
 }
 
+double AnalyticalCostModel::idle_power_mw(const SubAccelConfig& accel,
+                                          std::size_t dvfs_level) const {
+  const hw::DvfsState& dvfs = accel.dvfs;
+  if (dvfs_level >= dvfs.num_levels()) {
+    throw std::out_of_range("idle_power_mw: DVFS level out of range for '" +
+                            accel.id + "'");
+  }
+  if (dvfs.idle_mw == 0.0 || dvfs.levels.empty()) return dvfs.idle_mw;
+  // Leakage scales ~ V with supply voltage, the same first-order relation
+  // the static execution term uses in model_cost_at.
+  return dvfs.idle_mw *
+         (dvfs.levels[dvfs_level].voltage_v / hw::kNominalVoltageV);
+}
+
 }  // namespace xrbench::costmodel

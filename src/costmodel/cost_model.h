@@ -137,6 +137,15 @@ class AnalyticalCostModel {
   ModelCost model_cost_at(const ModelGraph& graph, const SubAccelConfig& accel,
                           std::size_t dvfs_level) const;
 
+  /// Idle power (mW) of `accel` parked at DVFS level `dvfs_level`:
+  /// DvfsState::idle_mw scaled by V/Vnom at that level (leakage ~ V, same
+  /// relation the static term uses), anchored at the global calibration
+  /// voltage like every other energy quantity. 0 whenever the hardware
+  /// declares no idle-power term. Throws std::out_of_range for an invalid
+  /// level.
+  double idle_power_mw(const SubAccelConfig& accel,
+                       std::size_t dvfs_level) const;
+
   const EnergyParams& energy_params() const { return energy_; }
 
   /// Fixed per-layer control/pipeline-fill overhead in cycles.

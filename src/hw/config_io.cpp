@@ -111,6 +111,12 @@ DvfsState parse_dvfs(const util::IniDocument::Section& sec, double clock_ghz) {
                  "dvfs_transition_ms must be >= 0");
     }
   }
+  if (sec.has("dvfs_idle_mw")) {
+    dvfs.idle_mw = sec.get_double("dvfs_idle_mw");
+    if (dvfs.idle_mw < 0.0) {
+      dvfs_error(sec.line_of("dvfs_idle_mw"), "dvfs_idle_mw must be >= 0");
+    }
+  }
   return dvfs;
 }
 
@@ -155,6 +161,9 @@ std::string to_config_text(const AcceleratorSystem& system) {
     }
     if (sa.dvfs.transition_ms != 0.0) {
       sec.set("dvfs_transition_ms", fmt_double_exact(sa.dvfs.transition_ms));
+    }
+    if (sa.dvfs.idle_mw != 0.0) {
+      sec.set("dvfs_idle_mw", fmt_double_exact(sa.dvfs.idle_mw));
     }
   }
   return doc.to_string();

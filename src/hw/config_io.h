@@ -27,6 +27,8 @@ namespace xrbench::hw {
 ///   dvfs_levels = 0.5@0.62, 0.85@0.74, 1@0.8, 1.2@0.836
 ///   dvfs_nominal = 2
 ///   dvfs_transition_ms = 0.1   ; level-switch latency penalty (default 0)
+///   dvfs_idle_mw = 40          ; idle power at Vnom, parked-level scaled
+///                              ; (default 0 = idle time is free)
 ///
 /// Ratios/partitioning are explicit per sub-accelerator, so arbitrary
 /// systems beyond Table 5 can be described. Malformed DVFS ladders

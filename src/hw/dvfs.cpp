@@ -5,7 +5,7 @@
 namespace xrbench::hw {
 
 bool DvfsState::valid() const {
-  if (transition_ms < 0.0) return false;
+  if (transition_ms < 0.0 || idle_mw < 0.0) return false;
   if (levels.empty()) return nominal_level == 0;
   if (nominal_level >= levels.size()) return false;
   double prev_freq = 0.0;

@@ -33,6 +33,15 @@ struct DvfsState {
   /// PLL-relock / voltage-settle cost). The default 0 keeps governed runs
   /// bit-identical to the penalty-free model.
   double transition_ms = 0.0;
+  /// Idle power (mW) the sub-accelerator burns between inferences at the
+  /// calibration voltage hw::kNominalVoltageV; the actual draw scales with
+  /// V/Vnom at the level the hardware PARKS at while idle (the PMU holds
+  /// the last programmed operating point; governors may override it, see
+  /// FrequencyGovernor::park_level). This is the term that separates
+  /// race-to-idle (sprint, park low) from fixed-highest (park high) in
+  /// energy. The default 0 keeps every pre-existing result bit-identical —
+  /// idle time is then free, as it always was.
+  double idle_mw = 0.0;
 
   /// Number of selectable levels (1 for the empty fixed-clock table).
   std::size_t num_levels() const { return levels.empty() ? 1 : levels.size(); }

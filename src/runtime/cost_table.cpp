@@ -42,10 +42,27 @@ CostTable::CostTable(const hw::AcceleratorSystem& system,
         const auto mc =
             cost_model.model_cost_at(graph, system.sub_accels[sa], lvl);
         costs_[row + level_offset_[sa] + lvl] =
-            ExecutionCost{mc.latency_ms, mc.energy_mj, mc.avg_utilization};
+            ExecutionCost{mc.latency_ms, mc.energy_mj, mc.static_energy_mj,
+                          mc.avg_utilization};
       }
     }
   }
+  idle_power_w_.resize(total_levels_);
+  for (std::size_t sa = 0; sa < num_sub_accels_; ++sa) {
+    for (std::size_t lvl = 0; lvl < num_levels_[sa]; ++lvl) {
+      idle_power_w_[level_offset_[sa] + lvl] =
+          cost_model.idle_power_mw(system.sub_accels[sa], lvl) / 1000.0;
+    }
+  }
+}
+
+double CostTable::idle_power_w(std::size_t sub_accel,
+                               std::size_t level) const {
+  check_sub_accel(sub_accel);
+  if (level >= num_levels_[sub_accel]) {
+    throw std::out_of_range("CostTable::idle_power_w: level out of range");
+  }
+  return idle_power_w_[level_offset_[sub_accel] + level];
 }
 
 void CostTable::check_sub_accel(std::size_t sub_accel) const {

@@ -12,6 +12,10 @@ namespace xrbench::runtime {
 struct ExecutionCost {
   double latency_ms = 0.0;
   double energy_mj = 0.0;
+  /// Leakage/clock share of energy_mj (the rest is dynamic switching
+  /// energy). Telemetry streams this split into the per-sub-accelerator
+  /// dynamic/static breakdown.
+  double static_energy_mj = 0.0;
   double avg_utilization = 0.0;
 };
 
@@ -72,6 +76,11 @@ class CostTable {
     return checked_nominal(sub_accel);
   }
 
+  /// Idle power (W) of `sub_accel` parked at `level`, precomputed from
+  /// DvfsState::idle_mw at the level's voltage. 0 for hardware without an
+  /// idle-power term — the runner skips idle accounting entirely then.
+  double idle_power_w(std::size_t sub_accel, std::size_t level) const;
+
  private:
   void check_sub_accel(std::size_t sub_accel) const;
   std::size_t checked_nominal(std::size_t sub_accel) const {
@@ -88,6 +97,8 @@ class CostTable {
   std::vector<std::size_t> nominal_offset_;
   // Row-major [task][level_offset(sub_accel) + level].
   std::vector<ExecutionCost> costs_;
+  /// Idle power (W) per [level_offset(sub_accel) + level].
+  std::vector<double> idle_power_w_;
 };
 
 }  // namespace xrbench::runtime

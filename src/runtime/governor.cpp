@@ -1,11 +1,12 @@
 #include "runtime/governor.h"
 
+#include <optional>
 #include <stdexcept>
 
 namespace xrbench::runtime {
 namespace {
 
-void check_context(const GovernorContext& ctx) {
+void check_context(const DispatchContext& ctx) {
   if (ctx.request == nullptr || ctx.costs == nullptr ||
       ctx.sub_accel >= ctx.costs->num_sub_accels()) {
     throw std::invalid_argument("FrequencyGovernor: incomplete context");
@@ -25,7 +26,7 @@ const char* FixedLevelGovernor::name() const {
   return "?";
 }
 
-std::size_t FixedLevelGovernor::level_for(const GovernorContext& ctx) {
+std::size_t FixedLevelGovernor::level_for(const DispatchContext& ctx) {
   check_context(ctx);
   switch (level_) {
     case Level::kLowest: return 0;
@@ -35,7 +36,7 @@ std::size_t FixedLevelGovernor::level_for(const GovernorContext& ctx) {
   return 0;
 }
 
-std::size_t DeadlineAwareGovernor::level_for(const GovernorContext& ctx) {
+std::size_t DeadlineAwareGovernor::level_for(const DispatchContext& ctx) {
   check_context(ctx);
   const std::size_t num = ctx.costs->num_levels(ctx.sub_accel);
   const models::TaskId task = ctx.request->task;
@@ -56,9 +57,80 @@ std::size_t DeadlineAwareGovernor::level_for(const GovernorContext& ctx) {
   return best ? *best : num - 1;
 }
 
-std::size_t RaceToIdleGovernor::level_for(const GovernorContext& ctx) {
+std::size_t RaceToIdleGovernor::level_for(const DispatchContext& ctx) {
   check_context(ctx);
   return ctx.costs->num_levels(ctx.sub_accel) - 1;
+}
+
+std::size_t RaceToIdleGovernor::park_level(const DispatchContext& ctx) {
+  check_context(ctx);
+  // The whole point of racing: the idle window is spent at the cheapest
+  // operating point. With idle_mw == 0 parking is free either way and this
+  // changes nothing (the bit-identity default).
+  return 0;
+}
+
+OndemandGovernor::OndemandGovernor(double up_threshold, double down_threshold)
+    : up_(up_threshold), down_(down_threshold) {
+  if (!(down_threshold >= 0.0 && down_threshold < up_threshold &&
+        up_threshold <= 1.0)) {
+    throw std::invalid_argument(
+        "OndemandGovernor: need 0 <= down < up <= 1 thresholds");
+  }
+}
+
+std::size_t OndemandGovernor::level_for(const DispatchContext& ctx) {
+  check_context(ctx);
+  if (current_.size() < ctx.costs->num_sub_accels()) {
+    const std::size_t old = current_.size();
+    current_.resize(ctx.costs->num_sub_accels());
+    for (std::size_t sa = old; sa < current_.size(); ++sa) {
+      current_[sa] = ctx.costs->nominal_level(sa);
+    }
+  }
+  const std::size_t sa = ctx.sub_accel;
+  const double util = ctx.telemetry ? ctx.telemetry->util_ewma(sa) : 0.0;
+  std::size_t level = current_[sa];
+  if (util > up_) {
+    // Burst: jump straight to the top (the classic ondemand latency rule —
+    // ramping up one step at a time is how frames get dropped).
+    level = ctx.costs->num_levels(sa) - 1;
+  } else if (util < down_ && level > 0) {
+    // Quiet: glide down one step per dispatch; the band between the
+    // thresholds is the hysteresis that stops borderline load from
+    // oscillating between levels.
+    --level;
+  }
+  current_[sa] = level;
+  return level;
+}
+
+UtilizationFeedbackGovernor::UtilizationFeedbackGovernor(
+    double target_utilization)
+    : target_(target_utilization) {
+  if (!(target_utilization > 0.0 && target_utilization <= 1.0)) {
+    throw std::invalid_argument(
+        "UtilizationFeedbackGovernor: target must be in (0, 1]");
+  }
+}
+
+std::size_t UtilizationFeedbackGovernor::level_for(const DispatchContext& ctx) {
+  check_context(ctx);
+  const std::size_t sa = ctx.sub_accel;
+  const std::size_t nominal = ctx.costs->nominal_level(sa);
+  if (ctx.system == nullptr || sa >= ctx.system->sub_accels.size()) {
+    return nominal;  // hand-built context without a hardware view
+  }
+  const hw::DvfsState& dvfs = ctx.system->sub_accels[sa].dvfs;
+  if (dvfs.levels.empty()) return 0;  // fixed-clock sub-accelerator
+  const double util = ctx.telemetry ? ctx.telemetry->util_ewma(sa) : target_;
+  // Proportional feedback: a busy fraction u at the recent operating mix
+  // demands u/target of the nominal clock to settle at the target.
+  const double desired_ghz = dvfs.levels[nominal].freq_ghz * util / target_;
+  for (std::size_t lvl = 0; lvl < dvfs.levels.size(); ++lvl) {
+    if (dvfs.levels[lvl].freq_ghz >= desired_ghz) return lvl;
+  }
+  return dvfs.levels.size() - 1;  // demand beyond the ladder: sprint
 }
 
 PerSubAccelGovernor::PerSubAccelGovernor(
@@ -79,13 +151,22 @@ void PerSubAccelGovernor::set_override(
   overrides_[sub_accel] = std::move(governor);
 }
 
-std::size_t PerSubAccelGovernor::level_for(const GovernorContext& ctx) {
+std::size_t PerSubAccelGovernor::level_for(const DispatchContext& ctx) {
   check_context(ctx);
   if (ctx.sub_accel < overrides_.size() &&
       overrides_[ctx.sub_accel] != nullptr) {
     return overrides_[ctx.sub_accel]->level_for(ctx);
   }
   return base_->level_for(ctx);
+}
+
+std::size_t PerSubAccelGovernor::park_level(const DispatchContext& ctx) {
+  check_context(ctx);
+  if (ctx.sub_accel < overrides_.size() &&
+      overrides_[ctx.sub_accel] != nullptr) {
+    return overrides_[ctx.sub_accel]->park_level(ctx);
+  }
+  return base_->park_level(ctx);
 }
 
 void PerSubAccelGovernor::reset() {
@@ -102,6 +183,8 @@ const char* governor_kind_name(GovernorKind kind) {
     case GovernorKind::kFixedHighest: return "fixed-highest";
     case GovernorKind::kDeadlineAware: return "deadline-aware";
     case GovernorKind::kRaceToIdle: return "race-to-idle";
+    case GovernorKind::kOndemand: return "ondemand";
+    case GovernorKind::kUtilizationFeedback: return "utilization-feedback";
   }
   return "?";
 }
@@ -121,15 +204,20 @@ std::unique_ptr<FrequencyGovernor> make_governor(GovernorKind kind) {
       return std::make_unique<DeadlineAwareGovernor>();
     case GovernorKind::kRaceToIdle:
       return std::make_unique<RaceToIdleGovernor>();
+    case GovernorKind::kOndemand:
+      return std::make_unique<OndemandGovernor>();
+    case GovernorKind::kUtilizationFeedback:
+      return std::make_unique<UtilizationFeedbackGovernor>();
   }
   return nullptr;
 }
 
 const std::vector<GovernorKind>& all_governor_kinds() {
   static const std::vector<GovernorKind> kinds = {
-      GovernorKind::kFixedLowest, GovernorKind::kFixedNominal,
-      GovernorKind::kFixedHighest, GovernorKind::kDeadlineAware,
-      GovernorKind::kRaceToIdle};
+      GovernorKind::kFixedLowest,   GovernorKind::kFixedNominal,
+      GovernorKind::kFixedHighest,  GovernorKind::kDeadlineAware,
+      GovernorKind::kRaceToIdle,    GovernorKind::kOndemand,
+      GovernorKind::kUtilizationFeedback};
   return kinds;
 }
 

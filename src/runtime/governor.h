@@ -2,40 +2,44 @@
 
 #include <cstddef>
 #include <memory>
-#include <optional>
 #include <vector>
 
-#include "runtime/cost_table.h"
-#include "runtime/request.h"
+#include "runtime/dispatch_context.h"
 
 namespace xrbench::runtime {
 
-/// What the dispatcher exposes to a frequency-scaling policy when an
-/// inference is about to start: the chosen request, the sub-accelerator it
-/// was assigned to, and the per-level cost table.
-struct GovernorContext {
-  double now_ms = 0.0;
-  const InferenceRequest* request = nullptr;
-  std::size_t sub_accel = 0;
-  const CostTable* costs = nullptr;
-};
-
-/// DVFS policy interface. The dispatcher consults the governor once per
-/// dispatch, after the Scheduler picked (request, sub-accelerator); the
-/// returned level selects the (latency, energy) row of the CostTable the
-/// inference executes under.
+/// DVFS policy interface. The dispatcher consults the governor twice per
+/// inference lifetime:
+///  * level_for() — once per dispatch, after the Scheduler picked
+///    (request, sub-accelerator); the returned level selects the
+///    (latency, energy) row of the CostTable the inference executes under.
+///  * park_level() — once per retire; the returned level is where the
+///    sub-accelerator idles until its next dispatch. It only matters when
+///    the hardware declares an idle-power term (hw::DvfsState::idle_mw):
+///    idle energy integrates that term at the parked level's voltage.
 ///
-/// Contract: level_for() must be a pure function of the context (no
-/// dependence on call ordering beyond reset()), and must return a level
-/// < ctx.costs->num_levels(ctx.sub_accel) — this is what keeps governed
-/// runs inside the parallel-sweep determinism guarantee.
+/// Both receive the unified runtime::DispatchContext (telemetry, CostTable,
+/// session clock, hardware view). Governors MAY keep internal state across
+/// consultations of one run — the simulation consults them in a fixed
+/// reproducible order and every sweep trial gets a fresh instance (reset()
+/// is the per-run boundary); see dispatch_context.h for the full
+/// determinism contract. Returned levels must always satisfy
+/// level < ctx.costs->num_levels(ctx.sub_accel).
 class FrequencyGovernor {
  public:
   virtual ~FrequencyGovernor() = default;
   virtual const char* name() const = 0;
 
   /// Picks the DVFS level to run ctx.request on ctx.sub_accel.
-  virtual std::size_t level_for(const GovernorContext& ctx) = 0;
+  virtual std::size_t level_for(const DispatchContext& ctx) = 0;
+
+  /// Level ctx.sub_accel parks at after retiring an inference that ran at
+  /// ctx.level. The default holds that level — the PMU keeps the last
+  /// programmed operating point, which is what real fixed-policy hardware
+  /// does between inferences.
+  virtual std::size_t park_level(const DispatchContext& ctx) {
+    return ctx.level;
+  }
 
   /// Called once before a run so stateful policies can reset.
   virtual void reset() {}
@@ -50,7 +54,7 @@ class FixedLevelGovernor final : public FrequencyGovernor {
   explicit FixedLevelGovernor(Level level) : level_(level) {}
 
   const char* name() const override;
-  std::size_t level_for(const GovernorContext& ctx) override;
+  std::size_t level_for(const DispatchContext& ctx) override;
 
  private:
   Level level_;
@@ -64,27 +68,76 @@ class FixedLevelGovernor final : public FrequencyGovernor {
 class DeadlineAwareGovernor final : public FrequencyGovernor {
  public:
   const char* name() const override { return "deadline-aware"; }
-  std::size_t level_for(const GovernorContext& ctx) override;
+  std::size_t level_for(const DispatchContext& ctx) override;
 };
 
-/// Race-to-idle policy: always sprint at the highest operating point so the
-/// sub-accelerator returns to idle as fast as possible. In the current cost
-/// model — which charges static power only while an inference executes —
-/// this coincides with fixed-highest in every metric; it exists as a
-/// distinct policy so that an idle-power term (a natural extension) can
-/// separate them without touching callers.
+/// Race-to-idle policy: sprint at the highest operating point so the
+/// sub-accelerator returns to idle as fast as possible, then park at the
+/// LOWEST point for the idle window. With hw::DvfsState::idle_mw == 0 (the
+/// default) this still coincides with fixed-highest in every metric; a
+/// nonzero idle-power term finally separates the two in energy — sprinting
+/// buys cheap idle time, holding the highest V/f makes idle expensive.
 class RaceToIdleGovernor final : public FrequencyGovernor {
  public:
   const char* name() const override { return "race-to-idle"; }
-  std::size_t level_for(const GovernorContext& ctx) override;
+  std::size_t level_for(const DispatchContext& ctx) override;
+  std::size_t park_level(const DispatchContext& ctx) override;
 };
 
-/// Per-sub-accelerator governor composite: routes level_for() to the
-/// override registered for ctx.sub_accel, falling back to the base policy.
-/// Lets heterogeneous systems mix policies (e.g. race-to-idle on a small
-/// always-on sub-accelerator, deadline-aware on the big one) while staying
-/// inside the governor determinism contract — each child is itself a pure
-/// function of the context, and the routing key is part of the context.
+/// History-aware ondemand policy (the cpufreq classic, per sub-accelerator):
+/// tracks a current level per sub-accelerator; when the telemetry's
+/// utilization EWMA exceeds the up-threshold it jumps straight to the
+/// highest level (latency protection under bursts), when it falls below the
+/// down-threshold it steps DOWN one level at a time, and inside the
+/// hysteresis band it holds. Starts (and resets) at the nominal level.
+/// Without telemetry in the context the utilization reads as 0 and the
+/// policy settles to the lowest level.
+class OndemandGovernor final : public FrequencyGovernor {
+ public:
+  explicit OndemandGovernor(double up_threshold = 0.70,
+                            double down_threshold = 0.30);
+
+  const char* name() const override { return "ondemand"; }
+  std::size_t level_for(const DispatchContext& ctx) override;
+  void reset() override { current_.clear(); }
+
+  double up_threshold() const { return up_; }
+  double down_threshold() const { return down_; }
+
+ private:
+  double up_;
+  double down_;
+  /// Current level per sub-accelerator; lazily sized on first consultation
+  /// (each entry starts at the sub-accelerator's nominal level).
+  std::vector<std::size_t> current_;
+};
+
+/// Utilization-feedback policy: proportional control toward a target busy
+/// fraction. Reads the sub-accelerator's utilization EWMA u and requests
+/// the slowest operating point whose frequency covers u/target of the
+/// nominal clock — a lightly-loaded sub-accelerator glides to the low V/f
+/// points, a saturated one is pushed past nominal. Falls back to the
+/// nominal level when the context carries no hardware view or the
+/// sub-accelerator has no DVFS ladder.
+class UtilizationFeedbackGovernor final : public FrequencyGovernor {
+ public:
+  explicit UtilizationFeedbackGovernor(double target_utilization = 0.5);
+
+  const char* name() const override { return "utilization-feedback"; }
+  std::size_t level_for(const DispatchContext& ctx) override;
+
+  double target_utilization() const { return target_; }
+
+ private:
+  double target_;
+};
+
+/// Per-sub-accelerator governor composite: routes level_for()/park_level()
+/// to the override registered for ctx.sub_accel, falling back to the base
+/// policy. Lets heterogeneous systems mix policies (e.g. race-to-idle on a
+/// small always-on sub-accelerator, deadline-aware on the big one); each
+/// child keeps its own state and the routing key is part of the context, so
+/// the composite stays inside the governor determinism contract.
 class PerSubAccelGovernor final : public FrequencyGovernor {
  public:
   explicit PerSubAccelGovernor(std::unique_ptr<FrequencyGovernor> base);
@@ -94,7 +147,8 @@ class PerSubAccelGovernor final : public FrequencyGovernor {
                     std::unique_ptr<FrequencyGovernor> governor);
 
   const char* name() const override { return "per-sub-accel"; }
-  std::size_t level_for(const GovernorContext& ctx) override;
+  std::size_t level_for(const DispatchContext& ctx) override;
+  std::size_t park_level(const DispatchContext& ctx) override;
   void reset() override;
 
  private:
@@ -109,6 +163,8 @@ enum class GovernorKind {
   kFixedHighest,
   kDeadlineAware,
   kRaceToIdle,
+  kOndemand,
+  kUtilizationFeedback,
 };
 
 const char* governor_kind_name(GovernorKind kind);

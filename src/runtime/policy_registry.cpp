@@ -31,8 +31,7 @@ PolicyRegistry::PolicyRegistry() {
   // Built-ins, in the enum order of SchedulerKind / GovernorKind so
   // registry-driven sweeps enumerate policies in the same order the enum
   // tables always did.
-  for (auto kind : {SchedulerKind::kLatencyGreedy, SchedulerKind::kRoundRobin,
-                    SchedulerKind::kEdf, SchedulerKind::kSlackAware}) {
+  for (auto kind : all_scheduler_kinds()) {
     register_scheduler(scheduler_kind_name(kind),
                        [kind] { return runtime::make_scheduler(kind); });
   }

@@ -29,9 +29,10 @@ class PolicyRegistry {
   using GovernorFactory = std::function<std::unique_ptr<FrequencyGovernor>()>;
 
   /// The process-wide registry, pre-populated with the shipped policies:
-  /// schedulers "latency-greedy", "round-robin", "edf", "slack-aware";
-  /// governors "fixed-lowest", "fixed-nominal", "fixed-highest",
-  /// "deadline-aware", "race-to-idle".
+  /// schedulers "latency-greedy", "round-robin", "edf", "slack-aware",
+  /// "least-loaded"; governors "fixed-lowest", "fixed-nominal",
+  /// "fixed-highest", "deadline-aware", "race-to-idle", "ondemand",
+  /// "utilization-feedback".
   static PolicyRegistry& instance();
 
   /// Registers a factory. Throws std::invalid_argument on an empty name or

@@ -4,8 +4,10 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
+#include "runtime/dispatch_context.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "workload/input_source.h"
@@ -70,19 +72,27 @@ bool timeline_less(const BusyInterval& a, const BusyInterval& b) {
   return a.frame < b.frame;
 }
 
-/// Mutable state + dispatch machinery of one scenario run; owned by run()
-/// so the runner itself stays const / reusable. All per-model state lives
-/// in flat vectors indexed by the model's slot in the scenario (looked up
-/// through a dense task->slot table), and the pending queue uses
-/// swap-remove, so the simulation hot path performs no hashing and no
-/// mid-vector erases.
-struct RunEngine {
-  const CostTable& costs;
-  Scheduler& scheduler;
+}  // namespace
+
+/// Mutable state + dispatch machinery of one scenario run, owned by a
+/// RunScratch so the runner itself stays const / reusable AND the buffers
+/// survive across runs: begin_run() rewinds the simulator clock and
+/// clear()s every vector in place, take_store()/take_timeline() hand out
+/// recycled arenas, so a sweep worker's thousands of trials allocate only
+/// on their first run. All per-model state lives in flat vectors indexed by
+/// the model's slot in the scenario (looked up through a dense task->slot
+/// table), and the pending queue uses swap-remove, so the simulation hot
+/// path performs no hashing and no mid-vector erases.
+struct RunScratch::Impl {
+  // Per-run wiring (set by begin_run; non-owning).
+  const CostTable* costs = nullptr;
+  const hw::AcceleratorSystem* system = nullptr;
+  Scheduler* scheduler = nullptr;
   FrequencyGovernor* governor = nullptr;  ///< May be null: nominal level.
 
   sim::Simulator sim;
   util::Rng rng;
+  Telemetry telemetry;
   std::vector<InferenceRequest> pending;
   std::vector<char> accel_busy;
   std::vector<double> accel_busy_ms;
@@ -91,6 +101,18 @@ struct RunEngine {
   /// dispatch there (-1 before the first one).
   std::vector<double> transition_ms;
   std::vector<int> last_level;
+  /// Idle-power accounting: the level each sub-accelerator is parked at,
+  /// its idle power (W) there, and when it went idle. All three only
+  /// matter when the hardware declares an idle-power term (has_idle_power);
+  /// otherwise the accounting is skipped so default runs stay literally
+  /// free and bit-identical.
+  std::vector<std::size_t> park_level;
+  std::vector<double> park_idle_w;
+  std::vector<double> idle_since_ms;
+  bool has_idle_power = false;
+  /// Idle energy accrues only inside [0, duration]: the drain past the
+  /// window belongs to the next phase's (or nobody's) accounting.
+  double idle_account_end_ms = 0.0;
   std::vector<BusyInterval> timeline;
   // Per-model state, indexed by scenario slot.
   std::vector<ModelRunStats> stats;
@@ -99,18 +121,90 @@ struct RunEngine {
   std::array<int, models::kNumTasks> slot_of{};  // task index -> slot or -1
   std::vector<std::size_t> idle_scratch;
   double total_energy_mj = 0.0;
+  // Recycled arenas (fed by RunScratch::recycle).
+  std::vector<RecordStore> store_pool;
+  std::vector<std::vector<BusyInterval>> timeline_pool;
 
-  RunEngine(const CostTable& c, Scheduler& s) : costs(c), scheduler(s) {
+  Impl() { slot_of.fill(-1); }
+
+  /// Rewinds every per-run field, keeping all allocated capacity.
+  void begin_run(const hw::AcceleratorSystem& sys, const CostTable& c,
+                 Scheduler& s, FrequencyGovernor* g, const RunConfig& config) {
+    costs = &c;
+    system = &sys;
+    scheduler = &s;
+    governor = g;
+    sim.reset();
+    rng.reseed(config.seed);
+    pending.clear();
+    const std::size_t n = sys.sub_accels.size();
+    accel_busy.assign(n, 0);
+    accel_busy_ms.assign(n, 0.0);
+    last_level.assign(n, -1);
+    transition_ms.resize(n);
+    park_level.resize(n);
+    park_idle_w.resize(n);
+    idle_since_ms.assign(n, 0.0);
+    has_idle_power = false;
+    idle_account_end_ms = config.duration_ms;
+    for (std::size_t sa = 0; sa < n; ++sa) {
+      transition_ms[sa] = sys.sub_accels[sa].dvfs.transition_ms;
+      // Hardware boots parked at the nominal operating point.
+      park_level[sa] = c.nominal_level(sa);
+      park_idle_w[sa] = c.idle_power_w(sa, park_level[sa]);
+      if (sys.sub_accels[sa].dvfs.idle_mw != 0.0) has_idle_power = true;
+    }
+    telemetry.reset(n, config.duration_ms);
+    if (timeline.capacity() == 0) timeline = take_timeline();
+    timeline.clear();
+    stats.clear();
+    fanout.clear();
+    baseline_mj.clear();
     slot_of.fill(-1);
+    idle_scratch.clear();
+    idle_scratch.reserve(n);
+    total_energy_mj = 0.0;
+  }
+
+  /// A cleared record store with whatever capacity the pool retained.
+  RecordStore take_store() {
+    if (store_pool.empty()) return RecordStore{};
+    RecordStore store = std::move(store_pool.back());
+    store_pool.pop_back();
+    store.clear();
+    return store;
+  }
+
+  /// A cleared timeline vector with whatever capacity the pool retained.
+  std::vector<BusyInterval> take_timeline() {
+    if (timeline_pool.empty()) return {};
+    std::vector<BusyInterval> tl = std::move(timeline_pool.back());
+    timeline_pool.pop_back();
+    tl.clear();
+    return tl;
   }
 
   std::size_t slot(models::TaskId task) const {
     return static_cast<std::size_t>(slot_of[models::task_index(task)]);
   }
 
+  /// Charges the idle window [idle_since, now] of `sa` at its parked
+  /// level's idle power. No-op on hardware without an idle term, and on an
+  /// empty-or-negative window (the end-of-run close passes the configured
+  /// duration, which a draining completion may already have passed).
+  void charge_idle(std::size_t sa, double now) {
+    const double iw = park_idle_w[sa];
+    if (iw == 0.0) return;
+    const double dt = std::min(now, idle_account_end_ms) - idle_since_ms[sa];
+    if (dt <= 0.0) return;
+    const double mj = dt * iw;  // W * ms = mJ
+    total_energy_mj += mj;
+    telemetry.on_idle_energy(sa, mj);
+  }
+
   /// Drops every pending request whose deadline has passed without a start.
   /// Swap-remove: pending order is not preserved (see the Scheduler
-  /// contract in scheduler.h).
+  /// contract in dispatch_context.h).
   void drop_stale(double now) {
     std::size_t i = 0;
     while (i < pending.size()) {
@@ -135,8 +229,8 @@ struct RunEngine {
 
     const std::size_t sl = slot(req.task);
     auto& ms = stats[sl];
-    const double energy_mj =
-        costs.energy_mj(req.task, sa, level) + baseline_mj[sl];
+    const ExecutionCost& cost = costs->cost(req.task, sa, level);
+    const double energy_mj = cost.energy_mj + baseline_mj[sl];
     total_energy_mj += energy_mj;
     ++ms.frames_executed;
     if (now > req.tdl_ms) ++ms.deadline_misses;
@@ -145,6 +239,33 @@ struct RunEngine {
                                start_ms, now, energy_mj);
     timeline.push_back(
         BusyInterval{static_cast<int>(sa), req.task, req.frame, start_ms, now});
+    // Accelerator energy split (the device baseline is system-level, not a
+    // sub-accelerator term, so it stays out of the breakdown).
+    telemetry.on_retire(sa, req, level, now,
+                        cost.energy_mj - cost.static_energy_mj,
+                        cost.static_energy_mj);
+    // Park the sub-accelerator for the coming idle window. The default
+    // holds the executed level (the PMU keeps its operating point);
+    // race-to-idle drops to the cheapest one.
+    std::size_t park = level;
+    if (governor != nullptr) {
+      DispatchContext pctx;
+      pctx.now_ms = now;
+      pctx.request = &req;
+      pctx.sub_accel = sa;
+      pctx.level = level;
+      pctx.costs = costs;
+      pctx.telemetry = &telemetry;
+      pctx.system = system;
+      park = governor->park_level(pctx);
+      if (park >= costs->num_levels(sa)) {
+        throw std::logic_error("Governor returned an invalid park level");
+      }
+    }
+    park_level[sa] = park;
+    park_idle_w[sa] = has_idle_power ? costs->idle_power_w(sa, park) : 0.0;
+    idle_since_ms[sa] = now;
+    telemetry.on_park(sa, park);
 
     // Trigger dependent models (dependency tracker).
     for (const ScenarioModel* down : fanout[sl]) {
@@ -178,12 +299,14 @@ struct RunEngine {
         if (accel_busy[sa] == 0) idle.push_back(sa);
       }
       if (idle.empty() || pending.empty()) return;
-      SchedulerContext ctx;
+      DispatchContext ctx;
       ctx.now_ms = sim.now();
       ctx.pending = &pending;
       ctx.idle_sub_accels = &idle;
-      ctx.costs = &costs;
-      const auto choice = scheduler.pick(ctx);
+      ctx.costs = costs;
+      ctx.telemetry = &telemetry;
+      ctx.system = system;
+      const auto choice = scheduler->pick(ctx);
       if (!choice) return;
       if (choice->request_index >= pending.size() ||
           choice->sub_accel >= accel_busy.size() ||
@@ -196,19 +319,26 @@ struct RunEngine {
       const std::size_t sa = choice->sub_accel;
       accel_busy[sa] = 1;
       const double start = sim.now();
-      std::size_t level = costs.nominal_level(sa);
+      std::size_t level = costs->nominal_level(sa);
       if (governor != nullptr) {
-        GovernorContext gctx;
+        DispatchContext gctx;
         gctx.now_ms = start;
         gctx.request = &req;
         gctx.sub_accel = sa;
-        gctx.costs = &costs;
+        gctx.costs = costs;
+        gctx.telemetry = &telemetry;
+        gctx.system = system;
         level = governor->level_for(gctx);
-        if (level >= costs.num_levels(sa)) {
+        if (level >= costs->num_levels(sa)) {
           throw std::logic_error("Governor returned an invalid DVFS level");
         }
       }
-      double latency = costs.latency_ms(req.task, sa, level);
+      // Close the idle window that ends with this dispatch, then record
+      // the dispatch — telemetry advances AFTER the policy consultations,
+      // so decisions always see the pre-dispatch state.
+      charge_idle(sa, start);
+      telemetry.on_dispatch(sa, req, level, start, pending.size());
+      double latency = costs->latency_ms(req.task, sa, level);
       // Consecutive dispatches at different levels pay the PMU's switch
       // cost before executing (PLL relock / voltage settle). The default
       // penalty of 0 adds nothing, keeping penalty-free runs bit-identical.
@@ -217,7 +347,7 @@ struct RunEngine {
         latency += transition_ms[sa];
       }
       last_level[sa] = static_cast<int>(level);
-      RunEngine* self = this;
+      Impl* self = this;
       sim.schedule_after(latency, [self, req, sa, level, start] {
         self->on_complete(req, sa, level, start);
       });
@@ -225,12 +355,41 @@ struct RunEngine {
   }
 };
 
-}  // namespace
+RunScratch::RunScratch() : impl_(std::make_unique<Impl>()) {}
+RunScratch::~RunScratch() = default;
+RunScratch::RunScratch(RunScratch&&) noexcept = default;
+RunScratch& RunScratch::operator=(RunScratch&&) noexcept = default;
+
+void RunScratch::recycle(ScenarioRunResult&& result) {
+  // Reverse order: take_store() pops from the back, so the next run's slot
+  // 0 receives the store that served slot 0 last time. A stable
+  // store-to-slot assignment keeps per-store capacities at their slot's
+  // high-water mark instead of cycling (and regrowing) across slots.
+  for (auto it = result.per_model.rbegin(); it != result.per_model.rend();
+       ++it) {
+    it->records.clear();
+    impl_->store_pool.push_back(std::move(it->records));
+  }
+  result.per_model.clear();
+  result.timeline.clear();
+  impl_->timeline_pool.push_back(std::move(result.timeline));
+}
+
+std::size_t RunScratch::pooled_stores() const {
+  return impl_->store_pool.size();
+}
+
+std::size_t RunScratch::pooled_record_capacity() const {
+  std::size_t total = 0;
+  for (const auto& store : impl_->store_pool) total += store.capacity();
+  return total;
+}
 
 ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
                                       Scheduler& scheduler,
                                       const RunConfig& config,
-                                      FrequencyGovernor* governor) const {
+                                      FrequencyGovernor* governor,
+                                      RunScratch* scratch) const {
   if (config.duration_ms <= 0.0) {
     throw std::invalid_argument("ScenarioRunner::run: duration must be > 0");
   }
@@ -253,17 +412,13 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   // scenarios.
   workload::validate_dependency_rates(scenario);
 
-  RunEngine eng(*costs_, scheduler);
-  eng.governor = governor;
-  eng.rng.reseed(config.seed);
-  eng.accel_busy.assign(system_->sub_accels.size(), 0);
-  eng.accel_busy_ms.assign(system_->sub_accels.size(), 0.0);
-  eng.last_level.assign(system_->sub_accels.size(), -1);
-  eng.transition_ms.resize(system_->sub_accels.size());
-  for (std::size_t sa = 0; sa < system_->sub_accels.size(); ++sa) {
-    eng.transition_ms[sa] = system_->sub_accels[sa].dvfs.transition_ms;
-  }
-  eng.idle_scratch.reserve(system_->sub_accels.size());
+  // The fallback arena is constructed only when the caller brought none —
+  // sweep trials and program phases always do, and an eager local would
+  // pay one Impl heap allocation per run for nothing.
+  std::optional<RunScratch> local;
+  if (scratch == nullptr) scratch = &local.emplace();
+  RunScratch::Impl& eng = *scratch->impl_;
+  eng.begin_run(*system_, *costs_, scheduler, governor, config);
 
   const std::size_t num_models = scenario.models.size();
   eng.stats.resize(num_models);
@@ -275,6 +430,7 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
     eng.slot_of[models::task_index(sm.task)] = static_cast<int>(sl);
     eng.stats[sl].task = sm.task;
     eng.stats[sl].target_fps = sm.target_fps;
+    eng.stats[sl].records = eng.take_store();
     // mW-free form: W * ms = mJ; the frame window is 1000/FPS ms.
     eng.baseline_mj[sl] = config.system_baseline_w * 1000.0 / sm.target_fps;
   }
@@ -322,7 +478,7 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
     const auto num_frames = static_cast<std::int64_t>(
         std::llround(sm.target_fps * config.duration_ms / 1000.0));
     ms.frames_expected = num_frames;
-    RunEngine* self = &eng;
+    RunScratch::Impl* self = &eng;
     for (std::int64_t f = 0; f < num_frames; ++f) {
       // Multi-modal models wait for the latest of their input streams.
       double treq = 0.0;
@@ -347,6 +503,20 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   eng.sim.run();
   // Anything still pending after the event queue drained can never start.
   eng.drop_stale(std::numeric_limits<double>::infinity());
+  // Close the trailing idle windows at the CONFIGURED duration, not the
+  // drained clock: a completion may drain past the window (its busy time
+  // legitimately spills over, as it always has), but idle time past the
+  // window belongs to whatever comes next — a program's following phase
+  // accounts it itself, so charging it here would double-count session
+  // wall-clock. Sub-accelerators whose last event already passed the
+  // duration get no trailing idle (charge_idle and Telemetry::advance both
+  // ignore non-positive windows).
+  if (eng.has_idle_power) {
+    for (std::size_t sa = 0; sa < system_->sub_accels.size(); ++sa) {
+      eng.charge_idle(sa, config.duration_ms);
+    }
+  }
+  eng.telemetry.finish(config.duration_ms);
 
   // ---- Result assembly --------------------------------------------------
   ScenarioRunResult result;
@@ -356,6 +526,7 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   result.sub_accel_busy_ms = std::move(eng.accel_busy_ms);
   result.timeline = std::move(eng.timeline);
   std::sort(result.timeline.begin(), result.timeline.end(), timeline_less);
+  result.telemetry = eng.telemetry;
   result.per_model.reserve(num_models);
   for (auto& ms : eng.stats) {
     // Same reasoning as the timeline sort: a frame index can repeat within
@@ -369,12 +540,23 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
 
 ScenarioRunResult ScenarioRunner::run_program(
     const workload::ScenarioProgram& program, Scheduler& scheduler,
-    const RunConfig& config, FrequencyGovernor* governor) const {
+    const RunConfig& config, FrequencyGovernor* governor,
+    RunScratch* scratch) const {
   workload::validate_program(program);
+
+  // Reuse one arena across phases even when the caller brought none (built
+  // lazily: sweep trials always pass one).
+  std::optional<RunScratch> local;
+  RunScratch* arena = scratch != nullptr ? scratch : &local.emplace();
 
   ScenarioRunResult out;
   out.scenario_name = program.name;
+  // Session-level storage comes from the arena too: a trial loop recycles
+  // the merged result, and reusing its arenas here is what keeps the pool
+  // at its high-water mark instead of growing by one result per trial.
+  out.timeline = arena->impl_->take_timeline();
   out.sub_accel_busy_ms.assign(system_->sub_accels.size(), 0.0);
+  out.telemetry.reset(system_->sub_accels.size());
   out.phase_start_ms.reserve(program.phases.size());
   // Task -> slot in out.per_model; models merge by task across phases in
   // first-seen (phase, slot) order, so a single-phase program's per_model
@@ -400,7 +582,7 @@ ScenarioRunResult ScenarioRunner::run_program(
     // start — the same rule the end of a plain run applies — before the
     // next phase's model set takes over on freshly idle hardware.
     ScenarioRunResult phase_run =
-        run(phase.scenario, scheduler, phase_config, governor);
+        run(phase.scenario, scheduler, phase_config, governor, arena);
 
     out.phase_start_ms.push_back(phase_start);
     out.total_energy_mj += phase_run.total_energy_mj;
@@ -419,6 +601,7 @@ ScenarioRunResult ScenarioRunner::run_program(
         slot = static_cast<int>(out.per_model.size());
         ModelRunStats fresh;
         fresh.task = ms.task;
+        fresh.records = arena->impl_->take_store();
         out.per_model.push_back(std::move(fresh));
       }
       auto& agg = out.per_model[static_cast<std::size_t>(slot)];
@@ -431,7 +614,13 @@ ScenarioRunResult ScenarioRunner::run_program(
       agg.deadline_misses += ms.deadline_misses;
       agg.records.append_shifted(ms.records, phase_start);
     }
+    // Additive telemetry accumulates, windowed telemetry carries the
+    // freshest phase (see Telemetry::merge_from).
+    out.telemetry.merge_from(phase_run.telemetry, phase_start);
     phase_start += phase.duration_ms;
+    // The phase's record/timeline arenas go back to the pool for the next
+    // phase (their contents were copied onto the session timeline above).
+    arena->recycle(std::move(phase_run));
   }
   out.duration_ms = phase_start;
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "runtime/record_store.h"
 #include "runtime/request.h"
 #include "runtime/scheduler.h"
+#include "runtime/telemetry.h"
 #include "workload/scenario.h"
 #include "workload/scenario_program.h"
 
@@ -64,12 +66,55 @@ struct ScenarioRunResult {
   /// run_program ({0} for a single-phase program); empty for plain
   /// single-scenario runs.
   std::vector<double> phase_start_ms;
+  /// End-of-run runtime telemetry snapshot: per-sub-accelerator busy/idle
+  /// time, utilization EWMAs, dynamic/static/idle energy split, DVFS-level
+  /// history, per-task latency EWMAs. Bit-deterministic across worker
+  /// counts (it advances only on simulated-clock events). For program runs
+  /// the additive fields accumulate across phases and the windowed fields
+  /// carry the final phase's view (Telemetry::merge_from).
+  Telemetry telemetry;
 
   const ModelRunStats* find(models::TaskId task) const;
 
   /// Hardware utilization of sub-accelerator `sa` over the run window
   /// (the §4.2.2 "utilization is the wrong metric" discussion).
   double utilization(std::size_t sa) const;
+};
+
+/// Reusable run-state arena for ScenarioRunner::run/run_program. One run
+/// allocates simulator event pools, request/timeline vectors and SoA record
+/// arenas; a sweep runs thousands of sub-millisecond trials, so those
+/// allocations were a measurable tax. A RunScratch keeps all of it alive
+/// between runs: the runner clear()s and reuses the buffers (capacity is
+/// retained — enforced by test), and recycle() returns a consumed result's
+/// record/timeline storage to the pool.
+///
+/// A scratch is single-threaded state: never share one across concurrent
+/// runs (SweepEngine keys one per worker thread). Results produced with a
+/// scratch are bit-identical to scratch-free runs — reuse changes where
+/// bytes live, never what they hold (enforced by test).
+class RunScratch {
+ public:
+  RunScratch();
+  ~RunScratch();
+  RunScratch(RunScratch&&) noexcept;
+  RunScratch& operator=(RunScratch&&) noexcept;
+  RunScratch(const RunScratch&) = delete;
+  RunScratch& operator=(const RunScratch&) = delete;
+
+  /// Returns `result`'s record stores and timeline storage to the pool
+  /// (call once the result has been scored/consumed; `result` is left
+  /// empty but valid).
+  void recycle(ScenarioRunResult&& result);
+
+  /// Pool diagnostics (capacity-retention tests).
+  std::size_t pooled_stores() const;
+  std::size_t pooled_record_capacity() const;  ///< Sum over pooled stores.
+
+ private:
+  friend class ScenarioRunner;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// The benchmark runtime (Figure 2): load generator, request queues,
@@ -92,16 +137,25 @@ struct ScenarioRunResult {
 ///    deadline miss (real-time score ~ 0 but QoE credit, matching the
 ///    Figure-6 discussion).
 ///  * Multi-modal models (DR) wait for all input streams of the frame.
+///
+/// Policies are consulted through runtime::DispatchContext, which carries
+/// the per-run Telemetry alongside the CostTable/hardware views; the
+/// telemetry advances only at dispatch/retire events, so governed runs stay
+/// inside the parallel-sweep byte-identity guarantee.
 class ScenarioRunner {
  public:
   ScenarioRunner(const hw::AcceleratorSystem& system, const CostTable& costs);
 
   /// Runs `scenario`. When `governor` is non-null the dispatcher consults it
-  /// at every dispatch for the DVFS level to execute under; a null governor
-  /// runs everything at each sub-accelerator's nominal level.
+  /// at every dispatch for the DVFS level to execute under (and at every
+  /// retire for the level to park at); a null governor runs everything at
+  /// each sub-accelerator's nominal level and parks where it ran. A non-null
+  /// `scratch` reuses that arena's buffers instead of allocating fresh ones
+  /// (bit-identical results; see RunScratch).
   ScenarioRunResult run(const workload::UsageScenario& scenario,
                         Scheduler& scheduler, const RunConfig& config,
-                        FrequencyGovernor* governor = nullptr) const;
+                        FrequencyGovernor* governor = nullptr,
+                        RunScratch* scratch = nullptr) const;
 
   /// Executes a scenario program as one continuous timeline. Each phase
   /// runs for its duration with a seed derived from `config.seed` and the
@@ -114,12 +168,15 @@ class ScenarioRunner {
   /// stats merge by task, record and timeline times are shifted onto the
   /// session timeline, and `phase_start_ms` marks the boundaries. Policy
   /// state (scheduler/governor) carries across boundaries — reset() is the
-  /// caller's per-run contract, not a per-phase one. A single-phase program
+  /// caller's per-run contract, not a per-phase one — while the telemetry
+  /// each phase's policies see starts fresh at the boundary (the result
+  /// telemetry still accumulates the whole session). A single-phase program
   /// is bit-identical to run() on its scenario (the compatibility anchor,
   /// enforced by test).
   ScenarioRunResult run_program(const workload::ScenarioProgram& program,
                                 Scheduler& scheduler, const RunConfig& config,
-                                FrequencyGovernor* governor = nullptr) const;
+                                FrequencyGovernor* governor = nullptr,
+                                RunScratch* scratch = nullptr) const;
 
  private:
   const hw::AcceleratorSystem* system_;

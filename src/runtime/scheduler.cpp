@@ -5,7 +5,7 @@
 namespace xrbench::runtime {
 namespace {
 
-bool context_ready(const SchedulerContext& ctx) {
+bool context_ready(const DispatchContext& ctx) {
   return ctx.pending != nullptr && ctx.idle_sub_accels != nullptr &&
          ctx.costs != nullptr && !ctx.pending->empty() &&
          !ctx.idle_sub_accels->empty();
@@ -25,7 +25,7 @@ bool precedes(const InferenceRequest& a, const InferenceRequest& b) {
 
 /// Idle sub-accelerator minimizing expected latency for `task` (lowest
 /// index wins ties; the idle list is always sorted ascending).
-std::size_t best_idle_for(const SchedulerContext& ctx, models::TaskId task) {
+std::size_t best_idle_for(const DispatchContext& ctx, models::TaskId task) {
   const auto& idle = *ctx.idle_sub_accels;
   std::size_t best = idle.front();
   for (std::size_t sa : idle) {
@@ -49,7 +49,7 @@ std::size_t earliest_deadline(const std::vector<InferenceRequest>& pending) {
 }  // namespace
 
 std::optional<Assignment> LatencyGreedyScheduler::pick(
-    const SchedulerContext& ctx) {
+    const DispatchContext& ctx) {
   if (!context_ready(ctx)) return std::nullopt;
   const auto& pending = *ctx.pending;
   double best_latency = std::numeric_limits<double>::infinity();
@@ -71,7 +71,7 @@ std::optional<Assignment> LatencyGreedyScheduler::pick(
 }
 
 std::optional<Assignment> RoundRobinScheduler::pick(
-    const SchedulerContext& ctx) {
+    const DispatchContext& ctx) {
   if (!context_ready(ctx)) return std::nullopt;
   const auto& pending = *ctx.pending;
   // Visit tasks starting from next_task_ and find the first with a pending
@@ -104,7 +104,7 @@ std::optional<Assignment> RoundRobinScheduler::pick(
   return std::nullopt;
 }
 
-std::optional<Assignment> EdfScheduler::pick(const SchedulerContext& ctx) {
+std::optional<Assignment> EdfScheduler::pick(const DispatchContext& ctx) {
   if (!context_ready(ctx)) return std::nullopt;
   const auto& pending = *ctx.pending;
   const std::size_t earliest = earliest_deadline(pending);
@@ -112,7 +112,7 @@ std::optional<Assignment> EdfScheduler::pick(const SchedulerContext& ctx) {
 }
 
 std::optional<Assignment> SlackAwareScheduler::pick(
-    const SchedulerContext& ctx) {
+    const DispatchContext& ctx) {
   if (!context_ready(ctx)) return std::nullopt;
   const auto& pending = *ctx.pending;
   // Prefer the earliest-deadline request that can still meet its deadline
@@ -129,12 +129,38 @@ std::optional<Assignment> SlackAwareScheduler::pick(
   return Assignment{*best, best_idle_for(ctx, pending[*best].task)};
 }
 
+std::optional<Assignment> LeastLoadedScheduler::pick(
+    const DispatchContext& ctx) {
+  if (!context_ready(ctx)) return std::nullopt;
+  const auto& pending = *ctx.pending;
+  const std::size_t ri = earliest_deadline(pending);
+  const models::TaskId task = pending[ri].task;
+  // Lowest utilization EWMA wins; exact ties (cold telemetry, or no
+  // telemetry in a hand-built context) fall back to the faster
+  // sub-accelerator, then the lower index — every key is a pure function
+  // of the context, so the placement is permutation- and order-invariant.
+  const auto& idle = *ctx.idle_sub_accels;
+  std::size_t best = idle.front();
+  double best_load = ctx.telemetry ? ctx.telemetry->util_ewma(best) : 0.0;
+  for (std::size_t sa : idle) {
+    const double load = ctx.telemetry ? ctx.telemetry->util_ewma(sa) : 0.0;
+    if (load < best_load ||
+        (load == best_load &&
+         ctx.costs->latency_ms(task, sa) < ctx.costs->latency_ms(task, best))) {
+      best = sa;
+      best_load = load;
+    }
+  }
+  return Assignment{ri, best};
+}
+
 const char* scheduler_kind_name(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kLatencyGreedy: return "latency-greedy";
     case SchedulerKind::kRoundRobin: return "round-robin";
     case SchedulerKind::kEdf: return "edf";
     case SchedulerKind::kSlackAware: return "slack-aware";
+    case SchedulerKind::kLeastLoaded: return "least-loaded";
   }
   return "?";
 }
@@ -149,8 +175,18 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
       return std::make_unique<EdfScheduler>();
     case SchedulerKind::kSlackAware:
       return std::make_unique<SlackAwareScheduler>();
+    case SchedulerKind::kLeastLoaded:
+      return std::make_unique<LeastLoadedScheduler>();
   }
   return nullptr;
+}
+
+const std::vector<SchedulerKind>& all_scheduler_kinds() {
+  static const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::kLatencyGreedy, SchedulerKind::kRoundRobin,
+      SchedulerKind::kEdf, SchedulerKind::kSlackAware,
+      SchedulerKind::kLeastLoaded};
+  return kinds;
 }
 
 }  // namespace xrbench::runtime

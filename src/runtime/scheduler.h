@@ -6,31 +6,12 @@
 #include <string>
 #include <vector>
 
-#include "runtime/cost_table.h"
-#include "runtime/request.h"
+#include "runtime/dispatch_context.h"
 
 namespace xrbench::runtime {
 
-/// What the dispatcher exposes to a scheduling policy at a decision point.
-struct SchedulerContext {
-  double now_ms = 0.0;
-  /// Requests currently waiting (input ready, not yet started, deadline not
-  /// passed). Indices into this vector identify the choice.
-  ///
-  /// Contract note: the dispatcher compacts this vector with swap-remove,
-  /// so element ORDER carries no meaning (it is NOT arrival order). Policies
-  /// must derive their decision from request attributes only (task, frame,
-  /// treq, tdl) and break ties on those attributes so the decision is
-  /// invariant under any permutation of `pending` — this is what keeps
-  /// parallel sweep results bit-identical to serial runs.
-  const std::vector<InferenceRequest>* pending = nullptr;
-  /// Indices of currently idle sub-accelerators.
-  const std::vector<std::size_t>* idle_sub_accels = nullptr;
-  const CostTable* costs = nullptr;
-};
-
-/// A scheduling decision: run pending[request_index] on sub-accelerator
-/// idle_sub_accels[...] == sub_accel.
+/// A scheduling decision: run ctx.pending[request_index] on sub-accelerator
+/// `sub_accel` (which must be listed in ctx.idle_sub_accels).
 struct Assignment {
   std::size_t request_index = 0;
   std::size_t sub_accel = 0;
@@ -39,6 +20,13 @@ struct Assignment {
 /// Scheduling policy interface — the user-customizable component of the
 /// harness (yellow box in Figure 2). The dispatcher calls pick() repeatedly
 /// until it returns nullopt or runs out of idle hardware / pending work.
+///
+/// Policies receive the unified runtime::DispatchContext: pending work,
+/// idle hardware, the per-level CostTable, the hardware view, and the
+/// runtime Telemetry (history-aware scheduling). See dispatch_context.h for
+/// the determinism contract — in short: internal state across one run is
+/// fine (each sweep trial gets a fresh instance), but decisions must be
+/// invariant under any permutation of ctx.pending.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -46,7 +34,7 @@ class Scheduler {
 
   /// Chooses one (request, sub-accelerator) pair, or nullopt to leave the
   /// remaining work queued. Must only return indices valid for `ctx`.
-  virtual std::optional<Assignment> pick(const SchedulerContext& ctx) = 0;
+  virtual std::optional<Assignment> pick(const DispatchContext& ctx) = 0;
 
   /// Called once before a run so stateful policies can reset.
   virtual void reset() {}
@@ -58,7 +46,7 @@ class Scheduler {
 class LatencyGreedyScheduler final : public Scheduler {
  public:
   const char* name() const override { return "latency-greedy"; }
-  std::optional<Assignment> pick(const SchedulerContext& ctx) override;
+  std::optional<Assignment> pick(const DispatchContext& ctx) override;
 };
 
 /// Round-robin (the paper's default for real-system runs): cycles through
@@ -67,7 +55,7 @@ class LatencyGreedyScheduler final : public Scheduler {
 class RoundRobinScheduler final : public Scheduler {
  public:
   const char* name() const override { return "round-robin"; }
-  std::optional<Assignment> pick(const SchedulerContext& ctx) override;
+  std::optional<Assignment> pick(const DispatchContext& ctx) override;
   void reset() override { next_task_ = 0; }
 
  private:
@@ -80,7 +68,7 @@ class RoundRobinScheduler final : public Scheduler {
 class EdfScheduler final : public Scheduler {
  public:
   const char* name() const override { return "edf"; }
-  std::optional<Assignment> pick(const SchedulerContext& ctx) override;
+  std::optional<Assignment> pick(const DispatchContext& ctx) override;
 };
 
 /// Slack-aware policy (extension): like EDF but skips requests that cannot
@@ -89,12 +77,34 @@ class EdfScheduler final : public Scheduler {
 class SlackAwareScheduler final : public Scheduler {
  public:
   const char* name() const override { return "slack-aware"; }
-  std::optional<Assignment> pick(const SchedulerContext& ctx) override;
+  std::optional<Assignment> pick(const DispatchContext& ctx) override;
 };
 
-enum class SchedulerKind { kLatencyGreedy, kRoundRobin, kEdf, kSlackAware };
+/// Load-aware policy (extension, telemetry-driven): picks the request by
+/// the canonical earliest-deadline order, then places it on the idle
+/// sub-accelerator with the LOWEST utilization EWMA — spreading sustained
+/// load across the system instead of piling onto the historically-fastest
+/// instance. Ties (exactly equal EWMAs, e.g. a cold start) fall back to the
+/// faster sub-accelerator for the task, then the lower index; without
+/// telemetry in the context it degrades to plain EDF placement.
+class LeastLoadedScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "least-loaded"; }
+  std::optional<Assignment> pick(const DispatchContext& ctx) override;
+};
+
+enum class SchedulerKind {
+  kLatencyGreedy,
+  kRoundRobin,
+  kEdf,
+  kSlackAware,
+  kLeastLoaded,
+};
 
 const char* scheduler_kind_name(SchedulerKind kind);
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind);
+
+/// All scheduler kinds, in declaration order (for policy sweeps).
+const std::vector<SchedulerKind>& all_scheduler_kinds();
 
 }  // namespace xrbench::runtime

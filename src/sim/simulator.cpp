@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace xrbench::sim {
 
@@ -107,6 +108,18 @@ void Simulator::reserve(std::size_t events) {
   queue_ = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                                std::greater<>>(std::greater<>{},
                                                std::move(storage));
+}
+
+void Simulator::reset() {
+  if (live_events_ != 0) {
+    throw std::logic_error("Simulator::reset: events are still pending");
+  }
+  // Every remaining queue entry is stale (its slot was cancelled — live
+  // slots are counted by live_events_); drop them so the rewound clock can
+  // never resurrect one.
+  while (!queue_.empty()) queue_.pop();
+  now_ = 0.0;
+  fired_ = 0;
 }
 
 }  // namespace xrbench::sim

@@ -143,6 +143,15 @@ class Simulator {
   /// grows on demand and is reused across the run).
   void reserve(std::size_t events);
 
+  /// Rewinds the clock to 0 for a new run, keeping the pool's high-water
+  /// capacity — the arena-reuse hook for sweep workers that run thousands
+  /// of trials. Only legal once the queue has drained (run() returned and
+  /// nothing was scheduled since); throws std::logic_error otherwise.
+  /// The FIFO sequence counter keeps running — only the relative order of
+  /// equal-time events matters, so a reused simulator replays a seeded run
+  /// bit-identically to a fresh one (enforced by test).
+  void reset();
+
   /// Number of pool slots ever allocated (high-water mark of concurrently
   /// pending events; exposed for tests and diagnostics).
   std::size_t pool_slots() const { return pool_.size(); }

@@ -6,6 +6,13 @@
 
 namespace xrbench::util {
 
+namespace {
+/// 0 on non-worker threads; worker i of its owning pool sees i + 1. A
+/// worker thread belongs to exactly one pool for its whole lifetime, so a
+/// plain thread_local is unambiguous even with several pools alive.
+thread_local std::size_t t_worker_slot = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   queues_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -130,6 +137,7 @@ bool ThreadPool::try_run_one(std::size_t self) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  t_worker_slot = self + 1;
   for (;;) {
     if (try_run_one(self)) continue;
     std::unique_lock lock(signal_mutex_);
@@ -158,6 +166,8 @@ void ThreadPool::wait_idle() {
     std::rethrow_exception(err);
   }
 }
+
+std::size_t ThreadPool::current_worker_slot() { return t_worker_slot; }
 
 std::size_t ThreadPool::default_num_threads() {
   if (const char* env = std::getenv("XRBENCH_THREADS")) {

@@ -148,6 +148,13 @@ class ThreadPool {
   /// set (0 allowed, meaning inline), otherwise std::thread::hardware_concurrency().
   static std::size_t default_num_threads();
 
+  /// Scratch-slot index of the calling thread: 1 + worker index on a pool
+  /// worker thread, 0 everywhere else (including the caller of an inline
+  /// pool, which runs tasks itself). A pool with N workers therefore needs
+  /// N + 1 scratch slots to give every task-running thread a private one —
+  /// this is how SweepEngine keys its per-worker RunScratch arenas.
+  static std::size_t current_worker_slot();
+
  private:
   /// One worker's deque. Owner pops the front; thieves pop the back.
   /// Heap-allocated so the mutexes sit on distinct cache lines.

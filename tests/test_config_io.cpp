@@ -134,7 +134,8 @@ TEST(HwConfigIo, DvfsParsesHandWrittenLadder) {
       "offchip_gbps = 8\n"
       "sram_kib = 2048\n"
       "dvfs_levels = 0.5@0.62, 1@0.8, 1.2@0.9\n"
-      "dvfs_transition_ms = 0.25\n");
+      "dvfs_transition_ms = 0.25\n"
+      "dvfs_idle_mw = 35.5\n");
   ASSERT_EQ(sys.sub_accels.size(), 1u);
   const auto& dvfs = sys.sub_accels[0].dvfs;
   ASSERT_EQ(dvfs.levels.size(), 3u);
@@ -143,8 +144,13 @@ TEST(HwConfigIo, DvfsParsesHandWrittenLadder) {
   EXPECT_EQ(dvfs.levels[0].freq_ghz, 0.5);
   EXPECT_EQ(dvfs.levels[2].voltage_v, 0.9);
   EXPECT_EQ(dvfs.transition_ms, 0.25);
+  EXPECT_EQ(dvfs.idle_mw, 35.5);
   EXPECT_TRUE(dvfs.valid());
   EXPECT_TRUE(dvfs.anchored_at(1.0));
+  // The idle term survives the writer round-trip.
+  const auto round = hw::from_config_text(hw::to_config_text(sys));
+  EXPECT_EQ(round.sub_accels[0].dvfs.idle_mw, 35.5);
+  EXPECT_EQ(round.sub_accels[0].dvfs.transition_ms, 0.25);
 }
 
 TEST(HwConfigIo, DvfsRejectsNonMonotonicLadderWithLineNumber) {
@@ -197,6 +203,9 @@ TEST(HwConfigIo, DvfsRejectsOtherMalformedLadders) {
                std::invalid_argument);
   // Negative transition penalty.
   EXPECT_THROW(hw::from_config_text(prefix + "dvfs_transition_ms = -1\n"),
+               std::invalid_argument);
+  // Negative idle power.
+  EXPECT_THROW(hw::from_config_text(prefix + "dvfs_idle_mw = -5\n"),
                std::invalid_argument);
 }
 
