@@ -11,6 +11,16 @@
 //     --program-config <file>   run a scenario program from an INI file
 //     --scheduler <name>        any registered scheduler (see --list-policies)
 //     --governor <name>         any registered DVFS governor
+//     --admission <name>        admission control: admit-all (default) or
+//                               drop-early (telemetry-predictive rejection)
+//     --fault-rate <p>          transient dispatch-failure probability [0,1]
+//     --fault-retries <n>       bounded retries per failed dispatch
+//     --fault-backoff <ms>      simulated-time retry backoff
+//     --fault-outage-rate <hz>  sub-accelerator outage windows per second
+//     --fault-outage-ms <ms>    outage window duration
+//     --fault-throttle-rate <hz> thermal-throttle windows per second
+//     --fault-throttle-ms <ms>  throttle window duration
+//     --fault-throttle-level <l> DVFS level cap inside throttle windows
 //     --duration <ms>           run duration (default 1000)
 //     --trials <n>              trials for dynamic scenarios (default 20)
 //     --seed <n>                base seed (default 42)
@@ -72,6 +82,11 @@ std::string checked_governor(const std::string& name) {
   return name;
 }
 
+std::string checked_admission(const std::string& name) {
+  runtime::PolicyRegistry::instance().make_admission(name);
+  return name;
+}
+
 void list_policies() {
   const auto& registry = runtime::PolicyRegistry::instance();
   std::cout << "Schedulers:\n";
@@ -80,6 +95,10 @@ void list_policies() {
   }
   std::cout << "Governors:\n";
   for (const auto& name : registry.governor_names()) {
+    std::cout << "  " << name << "\n";
+  }
+  std::cout << "Admission policies:\n";
+  for (const auto& name : registry.admission_names()) {
     std::cout << "  " << name << "\n";
   }
   std::cout << "Programs:\n";
@@ -104,6 +123,7 @@ int main(int argc, char** argv) {
   bool report = false;
   bool scheduler_flag = false;
   bool governor_flag = false;
+  bool admission_flag = false;
   core::HarnessOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,7 +146,27 @@ int main(int argc, char** argv) {
       } else if (arg == "--governor") {
         opt.governor = checked_governor(next());
         governor_flag = true;
+      } else if (arg == "--admission") {
+        opt.admission = checked_admission(next());
+        admission_flag = true;
       }
+      else if (arg == "--fault-rate")
+        opt.run.faults.transient_rate = std::stod(next());
+      else if (arg == "--fault-retries")
+        opt.run.faults.max_retries = std::stoi(next());
+      else if (arg == "--fault-backoff")
+        opt.run.faults.retry_backoff_ms = std::stod(next());
+      else if (arg == "--fault-outage-rate")
+        opt.run.faults.outage_rate_per_s = std::stod(next());
+      else if (arg == "--fault-outage-ms")
+        opt.run.faults.outage_ms = std::stod(next());
+      else if (arg == "--fault-throttle-rate")
+        opt.run.faults.throttle_rate_per_s = std::stod(next());
+      else if (arg == "--fault-throttle-ms")
+        opt.run.faults.throttle_ms = std::stod(next());
+      else if (arg == "--fault-throttle-level")
+        opt.run.faults.throttle_max_level =
+            static_cast<std::size_t>(std::stoul(next()));
       else if (arg == "--duration") opt.run.duration_ms = std::stod(next());
       else if (arg == "--trials") opt.dynamic_trials = std::stoi(next());
       else if (arg == "--seed") opt.run.seed = std::stoull(next());
@@ -172,6 +212,11 @@ int main(int argc, char** argv) {
       // Explicit flags override the policies a program config names.
       if (scheduler_flag) program.scheduler.clear();
       if (governor_flag) program.governor.clear();
+      if (admission_flag) program.admission.clear();
+      // Explicit fault flags likewise override a program's [faults] profile
+      // (RunConfig::faults only wins over the program spec when the program
+      // names none, so clear it).
+      if (opt.run.faults.enabled()) program.faults = runtime::FaultSpec{};
       // One point through the sweep engine: XRBENCH_THREADS (or hardware
       // concurrency) parallelizes the trials, byte-identically to serial.
       core::SweepEngine engine;

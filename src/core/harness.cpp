@@ -25,6 +25,11 @@ Harness::Harness(hw::AcceleratorSystem system, HarnessOptions options)
           std::make_unique<runtime::CostTable>(system_, cost_model_)),
       runner_(system_, *cost_table_) {
   validate_governor_overrides(options_, system_);
+  // Fail bad fault profiles at construction, not mid-sweep: begin_run
+  // re-validates the resolved spec per run, but the harness owns both
+  // candidate specs and can report them eagerly.
+  runtime::validate_fault_spec(system_.faults);
+  runtime::validate_fault_spec(options_.run.faults);
 }
 
 runtime::ScenarioRunResult Harness::run_once(
@@ -38,7 +43,10 @@ runtime::ScenarioRunResult Harness::run_once(
   auto governor = registry.make_governor_map(options_.governor,
                                              options_.governor_overrides);
   governor->reset();
-  return runner_.run(scenario, *scheduler, cfg, governor.get(), scratch);
+  auto admission = registry.make_admission(options_.admission);
+  admission->reset();
+  return runner_.run(scenario, *scheduler, cfg, governor.get(), scratch,
+                     admission.get());
 }
 
 runtime::ScenarioRunResult Harness::run_program_once(
@@ -54,8 +62,11 @@ runtime::ScenarioRunResult Harness::run_program_once(
       program.governor.empty() ? options_.governor : program.governor,
       options_.governor_overrides);
   governor->reset();
-  return runner_.run_program(program, *scheduler, cfg, governor.get(),
-                             scratch);
+  auto admission = registry.make_admission(
+      program.admission.empty() ? options_.admission : program.admission);
+  admission->reset();
+  return runner_.run_program(program, *scheduler, cfg, governor.get(), scratch,
+                             admission.get());
 }
 
 namespace {

@@ -30,6 +30,11 @@ struct HarnessOptions {
   /// name): sub-accelerator i runs under its override when present, under
   /// `governor` otherwise (heterogeneous governor mixes).
   std::vector<std::pair<std::size_t, std::string>> governor_overrides;
+  /// Admission-control policy consulted once per request at its arrival
+  /// instant. "admit-all" reproduces pre-admission behavior byte-exactly;
+  /// "drop-early" rejects requests whose telemetry-projected completion
+  /// already misses the deadline (graceful degradation under faults).
+  std::string admission = "admit-all";
   /// Trials averaged for dynamic (stochastic) scenarios; static scenarios
   /// always run once. Paper runs 200 trials for the Figure-7 sweep.
   int dynamic_trials = 20;

@@ -54,6 +54,16 @@ void print_benchmark_report(std::ostream& os,
                  fmt_double(outcome.score.qoe),
                  fmt_double(outcome.score.overall), "-", "-"});
   table.print(os);
+  // One line per scenario that actually saw faults or early drops; suites
+  // run fault-free print nothing extra (byte-identity with older output).
+  for (const auto& sc : outcome.scenarios) {
+    const auto& res = sc.last_run.resilience;
+    if (!res.enabled) continue;
+    os << "  resilience [" << sc.score.scenario_name << "]: faults "
+       << res.transient_faults << ", retries " << res.retries
+       << ", failovers " << res.failovers << ", drops early/late "
+       << res.drops_early << "/" << res.drops_late << "\n";
+  }
 }
 
 void print_scenario_report(std::ostream& os, const ScenarioOutcome& outcome) {
@@ -82,6 +92,17 @@ void print_scenario_report(std::ostream& os, const ScenarioOutcome& outcome) {
   os << "Scenario score: " << fmt_double(sc.overall)
      << "  (Rt " << fmt_double(sc.realtime) << ", En " << fmt_double(sc.energy)
      << ", QoE " << fmt_double(sc.qoe) << ")\n";
+  // Resilience section (final trial's counters). Gated on `enabled` —
+  // fault-free, admit-all runs print exactly what they always did.
+  const auto& res = outcome.last_run.resilience;
+  if (res.enabled) {
+    os << "Resilience (last trial): faults " << res.transient_faults
+       << ", retries " << res.retries << " (give-ups " << res.retry_give_ups
+       << "), outage kills " << res.outage_kills << ", failovers "
+       << res.failovers << ", throttle clamps " << res.throttle_clamps
+       << ", drops early/late " << res.drops_early << "/" << res.drops_late
+       << "\n";
+  }
 }
 
 void print_timeline(std::ostream& os, const runtime::ScenarioRunResult& run,

@@ -55,7 +55,10 @@ bool same_sub_accel(const costmodel::SubAccelConfig& a,
 }
 
 /// True when two systems produce identical CostTables (everything the cost
-/// model reads matches; ids/descriptions are ignored).
+/// model reads matches; ids/descriptions are ignored). The fault spec is
+/// deliberately NOT compared: faults never enter the CostTable, and every
+/// trial reads the fault profile from its own point's system, so points
+/// that differ only in [faults] still share one table build.
 bool same_system(const hw::AcceleratorSystem& a,
                  const hw::AcceleratorSystem& b) {
   if (a.sub_accels.size() != b.sub_accels.size()) return false;
@@ -94,11 +97,13 @@ struct ScenarioWork {
 struct TrialPolicies {
   std::unique_ptr<runtime::Scheduler> scheduler;
   std::unique_ptr<runtime::FrequencyGovernor> governor;
+  std::unique_ptr<runtime::AdmissionController> admission;
 };
 
 TrialPolicies make_policies(const HarnessOptions& options,
                             const std::string& scheduler_override,
-                            const std::string& governor_override) {
+                            const std::string& governor_override,
+                            const std::string& admission_override) {
   const auto& registry = runtime::PolicyRegistry::instance();
   TrialPolicies p;
   p.scheduler = registry.make_scheduler(
@@ -108,6 +113,9 @@ TrialPolicies make_policies(const HarnessOptions& options,
       governor_override.empty() ? options.governor : governor_override,
       options.governor_overrides);
   p.governor->reset();
+  p.admission = registry.make_admission(
+      admission_override.empty() ? options.admission : admission_override);
+  p.admission->reset();
   return p;
 }
 
@@ -123,10 +131,11 @@ void run_trial(const hw::AcceleratorSystem& system,
                runtime::RunScratch* scratch) {
   runtime::RunConfig cfg = options.run;
   cfg.seed += static_cast<std::uint64_t>(trial);
-  auto policies = make_policies(options, "", "");
+  auto policies = make_policies(options, "", "", "");
   const runtime::ScenarioRunner runner(system, table);
   auto run = runner.run(scenario, *policies.scheduler, cfg,
-                        policies.governor.get(), scratch);
+                        policies.governor.get(), scratch,
+                        policies.admission.get());
   work.trial_scores[static_cast<std::size_t>(trial)] =
       score_scenario(run, options.score);
   if (trial == work.trials - 1) {
@@ -145,10 +154,12 @@ void run_program_trial(const hw::AcceleratorSystem& system,
                        ScenarioWork& work, runtime::RunScratch* scratch) {
   runtime::RunConfig cfg = options.run;
   cfg.seed += static_cast<std::uint64_t>(trial);
-  auto policies = make_policies(options, program.scheduler, program.governor);
+  auto policies = make_policies(options, program.scheduler, program.governor,
+                                program.admission);
   const runtime::ScenarioRunner runner(system, table);
   auto run = runner.run_program(program, *policies.scheduler, cfg,
-                                policies.governor.get(), scratch);
+                                policies.governor.get(), scratch,
+                                policies.admission.get());
   work.trial_scores[static_cast<std::size_t>(trial)] =
       score_scenario(run, options.score);
   if (trial == work.trials - 1) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "costmodel/cost_model.h"
+#include "runtime/fault_spec.h"
 
 namespace xrbench::hw {
 
@@ -33,6 +34,12 @@ struct AcceleratorSystem {
   AccelStyle style = AccelStyle::kFDA;
   std::string dataflow_desc;  ///< e.g. "WS + OS (3:1 partitioning)"
   std::vector<costmodel::SubAccelConfig> sub_accels;
+  /// Fault-injection profile of this hardware (the [faults] config
+  /// section). Default-constructed = no faults. Pure data (fault_spec.h is
+  /// a leaf header): the spec never enters the CostTable, so systems that
+  /// differ only here still share sweep cost tables. Overridable per run
+  /// via RunConfig::faults and per program via ScenarioProgram::faults.
+  runtime::FaultSpec faults;
 
   std::int64_t total_pes() const;
   std::size_t num_sub_accels() const { return sub_accels.size(); }

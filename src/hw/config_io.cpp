@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/fault_plan.h"
 #include "util/ini.h"
 #include "util/table.h"
 
@@ -140,6 +141,9 @@ std::string to_config_text(const AcceleratorSystem& system) {
     chip.set("clock_ghz",
              fmt_double_exact(system.sub_accels.front().clock_ghz));
   }
+  // Optional [faults] section right after [chip]; a default spec writes
+  // nothing, keeping fault-free configs byte-identical to pre-fault output.
+  runtime::write_fault_section(doc, system.faults);
   for (const auto& sa : system.sub_accels) {
     auto& sec = doc.add_section("sub_accel");
     sec.set("dataflow", costmodel::dataflow_name(sa.dataflow));
@@ -181,6 +185,11 @@ AcceleratorSystem from_config_text(const std::string& text) {
                                              : 1.0;
   if (clock <= 0.0) {
     throw std::invalid_argument("accelerator config: clock_ghz must be > 0");
+  }
+
+  if (doc.has_section("faults")) {
+    system.faults =
+        runtime::parse_fault_section(doc.section("faults"), "accelerator config");
   }
 
   const auto subs = doc.sections("sub_accel");

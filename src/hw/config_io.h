@@ -30,10 +30,16 @@ namespace xrbench::hw {
 ///   dvfs_idle_mw = 40          ; idle power at Vnom, parked-level scaled
 ///                              ; (default 0 = idle time is free)
 ///
+///   [faults]               ; optional fault-injection profile (see
+///   transient_rate = 0.05  ; runtime/fault_spec.h for every key; omitted
+///   max_retries = 2        ; or all-zero = fault-free, byte-identical to
+///   retry_backoff_ms = 2   ; pre-fault output)
+///
 /// Ratios/partitioning are explicit per sub-accelerator, so arbitrary
 /// systems beyond Table 5 can be described. Malformed DVFS ladders
 /// (non-monotonic frequencies, non-positive voltages, out-of-range or
-/// unanchored nominal) are rejected with the offending line number.
+/// unanchored nominal) and malformed [faults] keys are rejected with the
+/// offending line number.
 
 /// Serializes a system to INI text.
 std::string to_config_text(const AcceleratorSystem& system);

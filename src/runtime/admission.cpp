@@ -1,0 +1,40 @@
+#include "runtime/admission.h"
+
+#include <stdexcept>
+
+namespace xrbench::runtime {
+
+bool DropEarlyController::admit(const DispatchContext& ctx) {
+  if (ctx.request == nullptr || ctx.telemetry == nullptr) return true;
+  const auto task = ctx.request->task;
+  // Permissive until the first completed sample: a cold EWMA of 0 would
+  // otherwise never reject anyway, but being explicit keeps the contract
+  // obvious — no telemetry, no prediction, no drop.
+  if (ctx.telemetry->task_completions(task) == 0) return true;
+  const double predicted_done =
+      ctx.now_ms + ctx.telemetry->task_latency_ewma(task);
+  return predicted_done <= ctx.request->tdl_ms;
+}
+
+const char* admission_kind_name(AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::kAdmitAll:
+      return "admit-all";
+    case AdmissionKind::kDropEarly:
+      return "drop-early";
+  }
+  throw std::invalid_argument("unknown admission kind");
+}
+
+std::unique_ptr<AdmissionController> make_admission_controller(
+    AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::kAdmitAll:
+      return std::make_unique<AdmitAllController>();
+    case AdmissionKind::kDropEarly:
+      return std::make_unique<DropEarlyController>();
+  }
+  throw std::invalid_argument("unknown admission kind");
+}
+
+}  // namespace xrbench::runtime

@@ -32,6 +32,8 @@ namespace xrbench::runtime {
 ///  | FrequencyGovernor::
 ///  |   level_for             | null         | set               | 0     |
 ///  |   park_level            | null         | set               | set   |
+///  | AdmissionController::
+///  |   admit                 | null         | request set       | 0     |
 ///
 /// costs/telemetry/system are always set by the runner. Hand-built contexts
 /// (unit tests) may leave telemetry/system null; policies must degrade
@@ -70,6 +72,13 @@ struct DispatchContext {
   std::size_t level = 0;
 
   // ---- Shared views -------------------------------------------------------
+  /// Per-sub-accelerator offline mask (1 = offline) while a fault plan is
+  /// active; null when no fault injection is configured (all units online).
+  /// Offline units never appear in idle_sub_accels — existing policies that
+  /// only pick from the idle list are fault-correct unchanged — but the mask
+  /// lets a policy distinguish "busy, will return" from "down" (e.g. to
+  /// re-place work proactively). Indexed by sub-accelerator.
+  const std::vector<char>* offline = nullptr;
   const CostTable* costs = nullptr;
   /// Runtime telemetry snapshot (see runtime/telemetry.h). Read-only;
   /// null in hand-built test contexts.

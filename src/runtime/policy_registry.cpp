@@ -39,6 +39,11 @@ PolicyRegistry::PolicyRegistry() {
     register_governor(governor_kind_name(kind),
                       [kind] { return runtime::make_governor(kind); });
   }
+  for (auto kind : kAllAdmissionKinds) {
+    register_admission(admission_kind_name(kind), [kind] {
+      return runtime::make_admission_controller(kind);
+    });
+  }
 }
 
 PolicyRegistry& PolicyRegistry::instance() {
@@ -74,6 +79,20 @@ void PolicyRegistry::register_governor(const std::string& name,
   governors_.emplace_back(name, std::move(factory));
 }
 
+void PolicyRegistry::register_admission(const std::string& name,
+                                        AdmissionFactory factory) {
+  if (name.empty() || !factory) {
+    throw std::invalid_argument(
+        "PolicyRegistry: admission name and factory must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (find_factory(admissions_, name) != nullptr) {
+    throw std::invalid_argument("PolicyRegistry: admission policy '" + name +
+                                "' is already registered");
+  }
+  admissions_.emplace_back(name, std::move(factory));
+}
+
 bool PolicyRegistry::has_scheduler(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return find_factory(schedulers_, name) != nullptr;
@@ -82,6 +101,11 @@ bool PolicyRegistry::has_scheduler(const std::string& name) const {
 bool PolicyRegistry::has_governor(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return find_factory(governors_, name) != nullptr;
+}
+
+bool PolicyRegistry::has_admission(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_factory(admissions_, name) != nullptr;
 }
 
 std::unique_ptr<Scheduler> PolicyRegistry::make_scheduler(
@@ -103,6 +127,19 @@ std::unique_ptr<FrequencyGovernor> PolicyRegistry::make_governor(
   if (factory == nullptr) {
     throw std::invalid_argument("PolicyRegistry: unknown governor '" + name +
                                 "' (available: " + join_names(governors_) +
+                                ")");
+  }
+  return (*factory)();
+}
+
+std::unique_ptr<AdmissionController> PolicyRegistry::make_admission(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto* factory = find_factory(admissions_, name);
+  if (factory == nullptr) {
+    throw std::invalid_argument("PolicyRegistry: unknown admission policy '" +
+                                name +
+                                "' (available: " + join_names(admissions_) +
                                 ")");
   }
   return (*factory)();
@@ -133,6 +170,14 @@ std::vector<std::string> PolicyRegistry::governor_names() const {
   std::vector<std::string> names;
   names.reserve(governors_.size());
   for (const auto& [name, factory] : governors_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> PolicyRegistry::admission_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(admissions_.size());
+  for (const auto& [name, factory] : admissions_) names.push_back(name);
   return names;
 }
 

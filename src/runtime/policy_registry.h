@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/admission.h"
 #include "runtime/governor.h"
 #include "runtime/scheduler.h"
 
@@ -27,26 +28,33 @@ class PolicyRegistry {
  public:
   using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
   using GovernorFactory = std::function<std::unique_ptr<FrequencyGovernor>()>;
+  using AdmissionFactory =
+      std::function<std::unique_ptr<AdmissionController>()>;
 
   /// The process-wide registry, pre-populated with the shipped policies:
   /// schedulers "latency-greedy", "round-robin", "edf", "slack-aware",
   /// "least-loaded"; governors "fixed-lowest", "fixed-nominal",
   /// "fixed-highest", "deadline-aware", "race-to-idle", "ondemand",
-  /// "utilization-feedback".
+  /// "utilization-feedback"; admission controllers "admit-all",
+  /// "drop-early".
   static PolicyRegistry& instance();
 
   /// Registers a factory. Throws std::invalid_argument on an empty name or
   /// a duplicate registration.
   void register_scheduler(const std::string& name, SchedulerFactory factory);
   void register_governor(const std::string& name, GovernorFactory factory);
+  void register_admission(const std::string& name, AdmissionFactory factory);
 
   bool has_scheduler(const std::string& name) const;
   bool has_governor(const std::string& name) const;
+  bool has_admission(const std::string& name) const;
 
   /// Instantiates the named policy. Throws std::invalid_argument on an
   /// unknown name, listing the registered names in the message.
   std::unique_ptr<Scheduler> make_scheduler(const std::string& name) const;
   std::unique_ptr<FrequencyGovernor> make_governor(
+      const std::string& name) const;
+  std::unique_ptr<AdmissionController> make_admission(
       const std::string& name) const;
 
   /// Builds a governor from a base name plus per-sub-accelerator overrides
@@ -60,6 +68,7 @@ class PolicyRegistry {
   /// Registered names in registration order (deterministic sweeps).
   std::vector<std::string> scheduler_names() const;
   std::vector<std::string> governor_names() const;
+  std::vector<std::string> admission_names() const;
 
  private:
   PolicyRegistry();
@@ -67,6 +76,7 @@ class PolicyRegistry {
   mutable std::mutex mutex_;
   std::vector<std::pair<std::string, SchedulerFactory>> schedulers_;
   std::vector<std::pair<std::string, GovernorFactory>> governors_;
+  std::vector<std::pair<std::string, AdmissionFactory>> admissions_;
 };
 
 }  // namespace xrbench::runtime

@@ -14,6 +14,15 @@ struct InferenceRequest {
   double treq_ms = 0.0;        ///< Request (input-ready) time, Definition 7.
   double tdl_ms = 0.0;         ///< Deadline, Definition 8.
   bool from_upstream = false;  ///< Created by an upstream model completion.
+  /// Fault-injection bookkeeping (0/-1 on fault-free runs). `attempt`
+  /// counts transient-failure retries of this request; it keys the
+  /// per-attempt Bernoulli redraw in FaultPlan::transient_fault, so a retry
+  /// is a fresh draw while an outage re-queue (same attempt) replays the
+  /// same one. `killed_on` is the unit an outage killed this request on
+  /// (-1: never killed); a re-dispatch onto a different unit counts as a
+  /// failover.
+  std::int32_t attempt = 0;
+  std::int32_t killed_on = -1;
 
   /// Inference slack (Definition 9): Tsl = Tdl - Treq.
   double slack_ms() const { return tdl_ms - treq_ms; }

@@ -7,6 +7,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "runtime/admission.h"
 #include "runtime/dispatch_context.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -121,6 +122,22 @@ struct RunScratch::Impl {
   std::array<int, models::kNumTasks> slot_of{};  // task index -> slot or -1
   std::vector<std::size_t> idle_scratch;
   double total_energy_mj = 0.0;
+  // ---- Fault injection (inert on fault-free runs) -------------------------
+  /// The materialized schedule for this run (empty plan when no fault class
+  /// is enabled) and the per-run offline/throttle state over it.
+  FaultPlan fault_plan;
+  FaultInjector injector;
+  AdmissionController* admission = nullptr;  ///< May be null: admit all.
+  ResilienceStats resilience;
+  /// In-flight completion handles per sub-accelerator, written only while
+  /// the injector is active — an outage kill cancels the completion event.
+  std::vector<sim::EventId> inflight_event;
+  std::vector<InferenceRequest> inflight_req;
+  std::vector<std::size_t> inflight_level;
+  std::vector<double> inflight_start;
+  /// Best-case latency per model slot over every (unit, level): the retry
+  /// feasibility bound (give up when even this cannot meet the deadline).
+  std::vector<double> best_latency;
   // Recycled arenas (fed by RunScratch::recycle).
   std::vector<RecordStore> store_pool;
   std::vector<std::vector<BusyInterval>> timeline_pool;
@@ -129,7 +146,8 @@ struct RunScratch::Impl {
 
   /// Rewinds every per-run field, keeping all allocated capacity.
   void begin_run(const hw::AcceleratorSystem& sys, const CostTable& c,
-                 Scheduler& s, FrequencyGovernor* g, const RunConfig& config) {
+                 Scheduler& s, FrequencyGovernor* g, AdmissionController* adm,
+                 const RunConfig& config) {
     costs = &c;
     system = &sys;
     scheduler = &s;
@@ -155,6 +173,23 @@ struct RunScratch::Impl {
       if (sys.sub_accels[sa].dvfs.idle_mw != 0.0) has_idle_power = true;
     }
     telemetry.reset(n, config.duration_ms);
+    // Fault wiring. Precedence: the run config's spec (when it enables a
+    // fault class) over the hardware's own. A disabled spec builds no plan
+    // and arms nothing — the dispatch hot path then only tests one bool.
+    admission = adm;
+    resilience = ResilienceStats{};
+    const FaultSpec& fspec =
+        config.faults.enabled() ? config.faults : sys.faults;
+    validate_fault_spec(fspec);
+    fault_plan = fspec.enabled()
+                     ? FaultPlan(fspec, config.seed, n, config.duration_ms)
+                     : FaultPlan{};
+    injector.arm(&fault_plan, n);
+    inflight_event.assign(n, 0);
+    inflight_req.assign(n, InferenceRequest{});
+    inflight_level.assign(n, 0);
+    inflight_start.assign(n, 0.0);
+    best_latency.clear();
     if (timeline.capacity() == 0) timeline = take_timeline();
     timeline.clear();
     stats.clear();
@@ -213,12 +248,67 @@ struct RunScratch::Impl {
         ms.records.append_dropped(pending[i].task, pending[i].frame,
                                   pending[i].treq_ms, pending[i].tdl_ms);
         ++ms.frames_dropped;
+        ++resilience.drops_late;
         pending[i] = pending.back();
         pending.pop_back();
       } else {
         ++i;
       }
     }
+  }
+
+  /// Routes a newly-created request through admission control (when
+  /// configured) into the pending queue. Deliberately does NOT dispatch:
+  /// call sites keep their existing dispatch cadence — the fan-out loop
+  /// pushes all children before one try_dispatch so the scheduler sees
+  /// them together — which is what keeps admission-free runs byte-identical
+  /// to pre-admission builds.
+  void arrive(const InferenceRequest& req) {
+    if (admission != nullptr) {
+      DispatchContext actx;
+      actx.now_ms = sim.now();
+      actx.request = &req;
+      actx.offline = injector.active() ? &injector.offline_mask() : nullptr;
+      actx.costs = costs;
+      actx.telemetry = &telemetry;
+      actx.system = system;
+      if (!admission->admit(actx)) {
+        // Drop-early: same record bytes as a stale-input drop, so scoring
+        // and byte-identity checks treat both drop paths uniformly.
+        auto& ms = stats[slot(req.task)];
+        ms.records.append_dropped(req.task, req.frame, req.treq_ms,
+                                  req.tdl_ms);
+        ++ms.frames_dropped;
+        ++resilience.drops_early;
+        return;
+      }
+    }
+    pending.push_back(req);
+  }
+
+  /// Parks `sa` for the coming idle window (governor consult; the default
+  /// holds the level it just ran at) and re-arms idle-power accounting.
+  void park_after(const InferenceRequest& req, std::size_t sa,
+                  std::size_t level, double now) {
+    std::size_t park = level;
+    if (governor != nullptr) {
+      DispatchContext pctx;
+      pctx.now_ms = now;
+      pctx.request = &req;
+      pctx.sub_accel = sa;
+      pctx.level = level;
+      pctx.costs = costs;
+      pctx.telemetry = &telemetry;
+      pctx.system = system;
+      park = governor->park_level(pctx);
+      if (park >= costs->num_levels(sa)) {
+        throw std::logic_error("Governor returned an invalid park level");
+      }
+    }
+    park_level[sa] = park;
+    park_idle_w[sa] = has_idle_power ? costs->idle_power_w(sa, park) : 0.0;
+    idle_since_ms[sa] = now;
+    telemetry.on_park(sa, park);
   }
 
   void on_complete(const InferenceRequest& req, std::size_t sa,
@@ -247,25 +337,7 @@ struct RunScratch::Impl {
     // Park the sub-accelerator for the coming idle window. The default
     // holds the executed level (the PMU keeps its operating point);
     // race-to-idle drops to the cheapest one.
-    std::size_t park = level;
-    if (governor != nullptr) {
-      DispatchContext pctx;
-      pctx.now_ms = now;
-      pctx.request = &req;
-      pctx.sub_accel = sa;
-      pctx.level = level;
-      pctx.costs = costs;
-      pctx.telemetry = &telemetry;
-      pctx.system = system;
-      park = governor->park_level(pctx);
-      if (park >= costs->num_levels(sa)) {
-        throw std::logic_error("Governor returned an invalid park level");
-      }
-    }
-    park_level[sa] = park;
-    park_idle_w[sa] = has_idle_power ? costs->idle_power_w(sa, park) : 0.0;
-    idle_since_ms[sa] = now;
-    telemetry.on_park(sa, park);
+    park_after(req, sa, level, now);
 
     // Trigger dependent models (dependency tracker).
     for (const ScenarioModel* down : fanout[sl]) {
@@ -285,24 +357,119 @@ struct RunScratch::Impl {
       dreq.treq_ms = now;  // input = upstream output, ready now
       dreq.tdl_ms = deadline_ms(src, down->target_fps, req.frame);
       dreq.from_upstream = true;
-      pending.push_back(dreq);
+      arrive(dreq);
     }
     try_dispatch();
   }
 
+  /// Completion path of a transiently-faulted dispatch: the unit burned the
+  /// full latency and energy but produced no frame. Retries with backoff
+  /// while the budget lasts AND the deadline is still reachable at the
+  /// task's best-case latency; otherwise the frame drops here.
+  void on_fault(const InferenceRequest& req, std::size_t sa, std::size_t level,
+                double start_ms) {
+    const double now = sim.now();
+    accel_busy[sa] = 0;
+    accel_busy_ms[sa] += now - start_ms;
+    const ExecutionCost& cost = costs->cost(req.task, sa, level);
+    // Full accelerator burn; no system-baseline share — the device baseline
+    // is amortized per PRODUCED frame (on_complete), not per attempt.
+    total_energy_mj += cost.energy_mj;
+    timeline.push_back(
+        BusyInterval{static_cast<int>(sa), req.task, req.frame, start_ms, now});
+    telemetry.on_abort(sa, now, cost.energy_mj - cost.static_energy_mj,
+                       cost.static_energy_mj);
+    ++resilience.transient_faults;
+    park_after(req, sa, level, now);
+
+    const FaultSpec& spec = fault_plan.spec();
+    const double t_retry = now + spec.retry_backoff_ms;
+    const std::size_t sl = slot(req.task);
+    if (req.attempt < spec.max_retries &&
+        t_retry + best_latency[sl] <= req.tdl_ms) {
+      ++resilience.retries;
+      InferenceRequest retry = req;
+      ++retry.attempt;  // fresh Bernoulli draw for the next try
+      Impl* self = this;
+      // Retries re-enter pending directly: the request was already admitted
+      // at arrival, and admission is an arrival-time decision.
+      sim.schedule_at(t_retry, [self, retry] {
+        self->pending.push_back(retry);
+        self->try_dispatch();
+      });
+    } else {
+      auto& ms = stats[sl];
+      ms.records.append_dropped(req.task, req.frame, req.treq_ms, req.tdl_ms);
+      ++ms.frames_dropped;
+      ++resilience.retry_give_ups;
+      ++resilience.drops_late;
+    }
+    try_dispatch();
+  }
+
+  /// Outage window opens on `sa`: the unit goes offline (try_dispatch skips
+  /// it) and any in-flight inference is killed — partial busy time and
+  /// pro-rated energy are charged, the request re-queues for failover onto
+  /// whatever healthy unit the scheduler picks.
+  void on_outage_start(std::size_t sa) {
+    injector.set_offline(sa, true);
+    if (accel_busy[sa] != 0 && sim.cancel(inflight_event[sa])) {
+      const double now = sim.now();
+      const InferenceRequest req = inflight_req[sa];
+      const std::size_t level = inflight_level[sa];
+      const double start = inflight_start[sa];
+      accel_busy[sa] = 0;
+      accel_busy_ms[sa] += now - start;
+      const ExecutionCost& cost = costs->cost(req.task, sa, level);
+      // Pro-rate by elapsed fraction of the execution latency (the
+      // scheduled completion may additionally carry a DVFS transition
+      // penalty, so clamp to [0, 1]).
+      double frac =
+          cost.latency_ms > 0.0 ? (now - start) / cost.latency_ms : 1.0;
+      frac = std::min(1.0, std::max(0.0, frac));
+      total_energy_mj += frac * cost.energy_mj;
+      if (now > start) {
+        timeline.push_back(BusyInterval{static_cast<int>(sa), req.task,
+                                        req.frame, start, now});
+      }
+      telemetry.on_abort(sa, now,
+                         frac * (cost.energy_mj - cost.static_energy_mj),
+                         frac * cost.static_energy_mj);
+      ++resilience.outage_kills;
+      // The dead unit sits at its parked level; idle accounting restarts
+      // at the kill instant (the busy window above consumed [start, now)).
+      idle_since_ms[sa] = now;
+      InferenceRequest requeued = req;
+      requeued.killed_on = static_cast<std::int32_t>(sa);
+      pending.push_back(requeued);
+      try_dispatch();  // a healthy idle unit may take the work right now
+    }
+  }
+
+  void on_outage_end(std::size_t sa) {
+    injector.set_offline(sa, false);
+    try_dispatch();  // fresh capacity for whatever is pending
+  }
+
   void try_dispatch() {
     drop_stale(sim.now());
+    const bool faulted = injector.active();
     while (true) {
       auto& idle = idle_scratch;
       idle.clear();
       for (std::size_t sa = 0; sa < accel_busy.size(); ++sa) {
-        if (accel_busy[sa] == 0) idle.push_back(sa);
+        // Offline units never enter the idle list, so schedulers that only
+        // pick from it are fault-correct without any change.
+        if (accel_busy[sa] == 0 && (!faulted || !injector.offline(sa))) {
+          idle.push_back(sa);
+        }
       }
       if (idle.empty() || pending.empty()) return;
       DispatchContext ctx;
       ctx.now_ms = sim.now();
       ctx.pending = &pending;
       ctx.idle_sub_accels = &idle;
+      ctx.offline = faulted ? &injector.offline_mask() : nullptr;
       ctx.costs = costs;
       ctx.telemetry = &telemetry;
       ctx.system = system;
@@ -310,10 +477,11 @@ struct RunScratch::Impl {
       if (!choice) return;
       if (choice->request_index >= pending.size() ||
           choice->sub_accel >= accel_busy.size() ||
-          accel_busy[choice->sub_accel] != 0) {
+          accel_busy[choice->sub_accel] != 0 ||
+          (faulted && injector.offline(choice->sub_accel))) {
         throw std::logic_error("Scheduler returned an invalid assignment");
       }
-      const InferenceRequest req = pending[choice->request_index];
+      InferenceRequest req = pending[choice->request_index];
       pending[choice->request_index] = pending.back();
       pending.pop_back();
       const std::size_t sa = choice->sub_accel;
@@ -325,12 +493,26 @@ struct RunScratch::Impl {
         gctx.now_ms = start;
         gctx.request = &req;
         gctx.sub_accel = sa;
+        gctx.offline = ctx.offline;
         gctx.costs = costs;
         gctx.telemetry = &telemetry;
         gctx.system = system;
         level = governor->level_for(gctx);
         if (level >= costs->num_levels(sa)) {
           throw std::logic_error("Governor returned an invalid DVFS level");
+        }
+      }
+      // Thermal throttle: inside a window the governor's choice is clamped
+      // to the cap (after validation — the clamp result is always a valid
+      // level because it only ever lowers the index).
+      if (faulted) {
+        if (const auto cap = injector.throttle_cap(sa, start)) {
+          const std::size_t capped =
+              std::min(*cap, costs->num_levels(sa) - 1);
+          if (level > capped) {
+            level = capped;
+            ++resilience.throttle_clamps;
+          }
         }
       }
       // Close the idle window that ends with this dispatch, then record
@@ -348,9 +530,40 @@ struct RunScratch::Impl {
       }
       last_level[sa] = static_cast<int>(level);
       Impl* self = this;
-      sim.schedule_after(latency, [self, req, sa, level, start] {
-        self->on_complete(req, sa, level, start);
-      });
+      if (faulted) {
+        // Failover accounting: a request an outage killed earlier is now
+        // re-placed; landing on a different (healthy) unit is a failover.
+        if (req.killed_on >= 0) {
+          if (req.killed_on != static_cast<std::int32_t>(sa)) {
+            ++resilience.failovers;
+          }
+          req.killed_on = -1;
+        }
+        // The fault decision is drawn here (it is a pure hash — placement
+        // cannot change it), and the completion handle is kept so an
+        // outage can kill this execution mid-flight.
+        const bool fault =
+            fault_plan.transient_fault(req.task, req.frame, req.attempt);
+        const InferenceRequest creq = req;
+        sim::EventId ev;
+        if (fault) {
+          ev = sim.schedule_after(latency, [self, creq, sa, level, start] {
+            self->on_fault(creq, sa, level, start);
+          });
+        } else {
+          ev = sim.schedule_after(latency, [self, creq, sa, level, start] {
+            self->on_complete(creq, sa, level, start);
+          });
+        }
+        inflight_event[sa] = ev;
+        inflight_req[sa] = creq;
+        inflight_level[sa] = level;
+        inflight_start[sa] = start;
+      } else {
+        sim.schedule_after(latency, [self, req, sa, level, start] {
+          self->on_complete(req, sa, level, start);
+        });
+      }
     }
   }
 };
@@ -389,7 +602,8 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
                                       Scheduler& scheduler,
                                       const RunConfig& config,
                                       FrequencyGovernor* governor,
-                                      RunScratch* scratch) const {
+                                      RunScratch* scratch,
+                                      AdmissionController* admission) const {
   if (config.duration_ms <= 0.0) {
     throw std::invalid_argument("ScenarioRunner::run: duration must be > 0");
   }
@@ -418,7 +632,7 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   std::optional<RunScratch> local;
   if (scratch == nullptr) scratch = &local.emplace();
   RunScratch::Impl& eng = *scratch->impl_;
-  eng.begin_run(*system_, *costs_, scheduler, governor, config);
+  eng.begin_run(*system_, *costs_, scheduler, governor, admission, config);
 
   const std::size_t num_models = scenario.models.size();
   eng.stats.resize(num_models);
@@ -494,9 +708,41 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
       req.treq_ms = treq;
       req.tdl_ms = deadline_ms(driver, sm.target_fps, f);
       eng.sim.schedule_at(treq, [self, req] {
-        self->pending.push_back(req);
+        self->arrive(req);
         self->try_dispatch();
       });
+    }
+  }
+
+  // ---- Fault schedule (precomputed; worker count cannot reorder it) -----
+  if (eng.injector.active()) {
+    // Best-case latency per slot bounds the retry feasibility check: a
+    // retry whose backoff-deferred start plus this bound already misses the
+    // deadline is given up immediately instead of burning another attempt.
+    eng.best_latency.assign(num_models,
+                            std::numeric_limits<double>::infinity());
+    for (std::size_t sl = 0; sl < num_models; ++sl) {
+      const auto task = scenario.models[sl].task;
+      for (std::size_t sa = 0; sa < system_->sub_accels.size(); ++sa) {
+        for (std::size_t lv = 0; lv < costs_->num_levels(sa); ++lv) {
+          eng.best_latency[sl] =
+              std::min(eng.best_latency[sl], costs_->latency_ms(task, sa, lv));
+        }
+      }
+    }
+    // Outage windows become simulator events. They are scheduled after the
+    // arrival events above, so at an exactly shared timestamp the arrival
+    // is processed first (FIFO tie-break) — a fixed, documented order that
+    // no worker count can perturb. Throttle windows need no events: the
+    // dispatcher samples them via FaultInjector::throttle_cap.
+    RunScratch::Impl* self = &eng;
+    for (std::size_t sa = 0; sa < system_->sub_accels.size(); ++sa) {
+      for (const auto& w : eng.fault_plan.outages(sa)) {
+        if (w.start_ms >= config.duration_ms) break;
+        eng.sim.schedule_at(w.start_ms,
+                            [self, sa] { self->on_outage_start(sa); });
+        eng.sim.schedule_at(w.end_ms, [self, sa] { self->on_outage_end(sa); });
+      }
     }
   }
 
@@ -527,6 +773,11 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
   result.timeline = std::move(eng.timeline);
   std::sort(result.timeline.begin(), result.timeline.end(), timeline_less);
   result.telemetry = eng.telemetry;
+  result.resilience = eng.resilience;
+  // An inactive injector with zero drop-early rejections leaves the section
+  // disabled, so admit-all (or null) admission never changes output bytes.
+  result.resilience.enabled =
+      eng.injector.active() || eng.resilience.drops_early > 0;
   result.per_model.reserve(num_models);
   for (auto& ms : eng.stats) {
     // Same reasoning as the timeline sort: a frame index can repeat within
@@ -540,9 +791,15 @@ ScenarioRunResult ScenarioRunner::run(const UsageScenario& scenario,
 
 ScenarioRunResult ScenarioRunner::run_program(
     const workload::ScenarioProgram& program, Scheduler& scheduler,
-    const RunConfig& config, FrequencyGovernor* governor,
-    RunScratch* scratch) const {
+    const RunConfig& config, FrequencyGovernor* governor, RunScratch* scratch,
+    AdmissionController* admission) const {
   workload::validate_program(program);
+
+  // Program-level fault profile (when enabled) overrides the run config's
+  // for every phase; the hardware spec stays the final fallback inside
+  // begin_run. Resolved once so all phases see the same precedence.
+  RunConfig base = config;
+  if (program.faults.enabled()) base.faults = program.faults;
 
   // Reuse one arena across phases even when the caller brought none (built
   // lazily: sweep trials always pass one).
@@ -574,15 +831,15 @@ ScenarioRunResult ScenarioRunner::run_program(
 
   double phase_start = 0.0;
   for (const auto& phase : program.phases) {
-    RunConfig phase_config = config;
+    RunConfig phase_config = base;
     phase_config.duration_ms = phase.duration_ms;
     phase_config.seed = config.seed + phase.seed_offset * kPhaseSeedStride;
     // Each phase boundary retires in-flight work deterministically: run()
     // drains every scheduled completion and drops whatever can no longer
     // start — the same rule the end of a plain run applies — before the
     // next phase's model set takes over on freshly idle hardware.
-    ScenarioRunResult phase_run =
-        run(phase.scenario, scheduler, phase_config, governor, arena);
+    ScenarioRunResult phase_run = run(phase.scenario, scheduler, phase_config,
+                                      governor, arena, admission);
 
     out.phase_start_ms.push_back(phase_start);
     out.total_energy_mj += phase_run.total_energy_mj;
@@ -617,6 +874,7 @@ ScenarioRunResult ScenarioRunner::run_program(
     // Additive telemetry accumulates, windowed telemetry carries the
     // freshest phase (see Telemetry::merge_from).
     out.telemetry.merge_from(phase_run.telemetry, phase_start);
+    out.resilience.merge(phase_run.resilience);
     phase_start += phase.duration_ms;
     // The phase's record/timeline arenas go back to the pool for the next
     // phase (their contents were copied onto the session timeline above).

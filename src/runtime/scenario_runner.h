@@ -7,6 +7,7 @@
 
 #include "hw/accelerator.h"
 #include "runtime/cost_table.h"
+#include "runtime/fault_plan.h"
 #include "runtime/governor.h"
 #include "runtime/record_store.h"
 #include "runtime/request.h"
@@ -29,6 +30,12 @@ struct RunConfig {
   /// implies (a 3 FPS speech inference owns ~333 ms of device time). Set to
   /// 0 to score pure accelerator energy.
   double system_baseline_w = 2.0;
+  /// Fault-injection profile for this run. When enabled it overrides the
+  /// hardware's own spec (AcceleratorSystem::faults); the default
+  /// (disabled) spec defers to the hardware, and when neither enables any
+  /// fault class the runner's fault machinery is never armed — fault-free
+  /// runs are byte-identical to builds that predate the subsystem.
+  FaultSpec faults;
 };
 
 /// Per-model outcome of one scenario run.
@@ -73,6 +80,10 @@ struct ScenarioRunResult {
   /// the additive fields accumulate across phases and the windowed fields
   /// carry the final phase's view (Telemetry::merge_from).
   Telemetry telemetry;
+  /// Fault-injection and graceful-degradation counters. `enabled` is false
+  /// on fault-free runs with no admission rejections (program runs OR the
+  /// phases); the report prints its resilience section only when set.
+  ResilienceStats resilience;
 
   const ModelRunStats* find(models::TaskId task) const;
 
@@ -137,11 +148,23 @@ class RunScratch {
 ///    deadline miss (real-time score ~ 0 but QoE credit, matching the
 ///    Figure-6 discussion).
 ///  * Multi-modal models (DR) wait for all input streams of the frame.
+///  * With a fault plan armed (see RunConfig::faults): a transiently
+///    faulted dispatch burns its full latency and energy, then retries
+///    (bounded, with simulated-time backoff) while the deadline is still
+///    reachable, else drops. An outage kills in-flight work (partial busy
+///    time and pro-rated energy are charged), re-queues it, and hides the
+///    unit from the idle list until the window ends; re-placement onto a
+///    different unit counts as a failover. Throttle windows clamp the
+///    governor's level at dispatch. The whole schedule is precomputed from
+///    the trial seed, so faulted sweeps stay byte-identical at any worker
+///    count.
 ///
 /// Policies are consulted through runtime::DispatchContext, which carries
 /// the per-run Telemetry alongside the CostTable/hardware views; the
 /// telemetry advances only at dispatch/retire events, so governed runs stay
 /// inside the parallel-sweep byte-identity guarantee.
+class AdmissionController;
+
 class ScenarioRunner {
  public:
   ScenarioRunner(const hw::AcceleratorSystem& system, const CostTable& costs);
@@ -152,10 +175,15 @@ class ScenarioRunner {
   /// each sub-accelerator's nominal level and parks where it ran. A non-null
   /// `scratch` reuses that arena's buffers instead of allocating fresh ones
   /// (bit-identical results; see RunScratch).
+  /// A non-null `admission` is consulted once per request at its arrival
+  /// instant; a rejection drops the frame immediately (drop-early). Null —
+  /// or the built-in "admit-all" — admits everything, leaving results
+  /// byte-identical to admission-free runs.
   ScenarioRunResult run(const workload::UsageScenario& scenario,
                         Scheduler& scheduler, const RunConfig& config,
                         FrequencyGovernor* governor = nullptr,
-                        RunScratch* scratch = nullptr) const;
+                        RunScratch* scratch = nullptr,
+                        AdmissionController* admission = nullptr) const;
 
   /// Executes a scenario program as one continuous timeline. Each phase
   /// runs for its duration with a seed derived from `config.seed` and the
@@ -173,10 +201,17 @@ class ScenarioRunner {
   /// telemetry still accumulates the whole session). A single-phase program
   /// is bit-identical to run() on its scenario (the compatibility anchor,
   /// enforced by test).
+  /// Fault-spec precedence for every phase: program.faults (when enabled)
+  /// over config.faults over the hardware's spec. Each phase materializes
+  /// its own FaultPlan from its derived phase seed, so phases decorrelate
+  /// exactly like their jitter streams do. `admission` behaves as in run(),
+  /// with controller state carrying across phase boundaries like the other
+  /// policies.
   ScenarioRunResult run_program(const workload::ScenarioProgram& program,
                                 Scheduler& scheduler, const RunConfig& config,
                                 FrequencyGovernor* governor = nullptr,
-                                RunScratch* scratch = nullptr) const;
+                                RunScratch* scratch = nullptr,
+                                AdmissionController* admission = nullptr) const;
 
  private:
   const hw::AcceleratorSystem* system_;

@@ -27,6 +27,14 @@ struct Assignment {
 /// the determinism contract — in short: internal state across one run is
 /// fine (each sweep trial gets a fresh instance), but decisions must be
 /// invariant under any permutation of ctx.pending.
+///
+/// Fault injection: under an active FaultPlan a sub-accelerator inside an
+/// outage window is simply absent from ctx.idle_sub_accels, so schedulers
+/// that pick only from the idle list (all built-ins) need no change.
+/// Policies that reason about the whole system — e.g. deferring work for a
+/// preferred-but-busy unit — should consult ctx.offline to distinguish
+/// "busy, will come back shortly" from "down for the outage window" (see
+/// the migration note in dispatch_context.h).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;

@@ -104,6 +104,18 @@ void Telemetry::on_retire(std::size_t sa, const InferenceRequest& req,
   ++task_completions_[ti];
 }
 
+void Telemetry::on_abort(std::size_t sa, double now_ms, double dynamic_mj,
+                         double static_mj) {
+  auto& sub = subs_.at(sa);
+  advance(sub, now_ms);
+  sub.busy = false;
+  ++sub.aborts;
+  sub.dynamic_mj += dynamic_mj;
+  sub.static_mj += static_mj;
+  // No retire, no task latency sample: a burned or killed attempt says
+  // nothing about how long a completion takes.
+}
+
 void Telemetry::on_park(std::size_t sa, std::size_t level) {
   subs_.at(sa).park_level = static_cast<int>(level);
 }
@@ -128,6 +140,7 @@ void Telemetry::merge_from(const Telemetry& phase, double phase_start_ms) {
     sub.idle_ms += p.idle_ms;
     sub.dispatches += p.dispatches;
     sub.retires += p.retires;
+    sub.aborts += p.aborts;
     sub.dynamic_mj += p.dynamic_mj;
     sub.static_mj += p.static_mj;
     sub.idle_mj += p.idle_mj;

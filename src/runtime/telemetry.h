@@ -37,6 +37,9 @@ struct SubAccelTelemetry {
   bool busy = false;
   std::int64_t dispatches = 0;
   std::int64_t retires = 0;
+  /// Dispatches that ended without retiring a frame: transient-fault burns
+  /// and outage kills (fault injection only; 0 on fault-free runs).
+  std::int64_t aborts = 0;
   int last_level = -1;  ///< Level of the most recent dispatch (-1: none yet).
   int park_level = -1;  ///< Level the sub-accel idles at (-1: nominal).
   /// Accelerator energy split. dynamic+static sum over executed inferences'
@@ -93,6 +96,14 @@ class Telemetry {
   void on_retire(std::size_t sa, const InferenceRequest& req,
                  std::size_t level, double now_ms, double dynamic_mj,
                  double static_mj);
+
+  /// The inference dispatched on `sa` ended WITHOUT completing (transient
+  /// fault burned the cycles, or an outage killed it mid-flight). Closes
+  /// the busy window and books the (possibly partial) energy, but does not
+  /// count a retire and never feeds the task latency EWMA — failed attempts
+  /// are not completion samples.
+  void on_abort(std::size_t sa, double now_ms, double dynamic_mj,
+                double static_mj);
 
   /// The governor parked `sa` at `level` for the coming idle window.
   void on_park(std::size_t sa, std::size_t level);

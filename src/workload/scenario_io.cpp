@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/fault_plan.h"
 #include "util/ini.h"
 #include "util/table.h"
 #include "workload/input_source.h"
@@ -147,6 +148,10 @@ std::string to_config_text(const ScenarioProgram& program) {
   head.set("description", program.description);
   if (!program.scheduler.empty()) head.set("scheduler", program.scheduler);
   if (!program.governor.empty()) head.set("governor", program.governor);
+  if (!program.admission.empty()) head.set("admission", program.admission);
+  // Optional [faults] profile; a default spec writes nothing so fault-free
+  // programs round-trip byte-identically to pre-fault output.
+  runtime::write_fault_section(doc, program.faults);
 
   // Inline every distinct phase scenario (first definition wins), so the
   // file is self-contained. Two different scenarios may not share a name —
@@ -188,6 +193,11 @@ ScenarioProgram program_from_config_text(const std::string& text) {
   program.description = head.get_or("description", "");
   program.scheduler = head.get_or("scheduler", "");
   program.governor = head.get_or("governor", "");
+  program.admission = head.get_or("admission", "");
+  if (doc.has_section("faults")) {
+    program.faults =
+        runtime::parse_fault_section(doc.section("faults"), "program config");
+  }
 
   // First pass: collect inline scenario definitions in section order —
   // each [scenario] header owns the [model] sections that follow it.

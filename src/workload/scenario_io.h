@@ -42,6 +42,12 @@ UsageScenario load_scenario(const std::filesystem::path& path);
 ///   description = walk -> transit -> walk
 ///   scheduler = edf              ; optional PolicyRegistry names
 ///   governor = deadline-aware    ; optional
+///   admission = drop-early       ; optional
+///
+///   [faults]                     ; optional fault profile for every phase
+///   transient_rate = 0.05        ; (see runtime/fault_spec.h; overrides
+///   max_retries = 2              ; the run config's and the hardware's
+///                                ; spec when enabled)
 ///
 ///   [scenario]                   ; optional inline scenario definitions,
 ///   name = Transit Idle          ; each followed by its [model] sections

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/fault_spec.h"
 #include "workload/scenario.h"
 
 namespace xrbench::workload {
@@ -32,9 +33,18 @@ struct ScenarioProgram {
   std::string description;
   /// Optional policy names resolved through runtime::PolicyRegistry ("edf",
   /// "deadline-aware", ...). Empty = the harness's configured default. Kept
-  /// as plain strings so workload stays independent of the runtime layer.
+  /// as plain strings so workload stays independent of the runtime layer
+  /// (FaultSpec below is pure data from a leaf header, not runtime
+  /// machinery).
   std::string scheduler;
   std::string governor;
+  /// Optional admission-control policy name ("admit-all", "drop-early").
+  /// Empty = the harness's configured default.
+  std::string admission;
+  /// Program-level fault profile (the program config's [faults] section).
+  /// When enabled it overrides both RunConfig::faults and the hardware's
+  /// spec for every phase of this program.
+  runtime::FaultSpec faults;
   std::vector<ScenarioPhase> phases;
 
   double total_duration_ms() const;

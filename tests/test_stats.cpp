@@ -76,6 +76,14 @@ TEST(RunningStats, MergeWithEmpty) {
 TEST(Percentiles, EmptyReturnsZero) {
   Percentiles p;
   EXPECT_EQ(p.percentile(50), 0.0);
+  // The sealed fast path and the post-clear() state must agree — an empty
+  // sample set always reads 0, never an out-of-bounds element.
+  p.seal();
+  EXPECT_EQ(p.percentile(50), 0.0);
+  EXPECT_EQ(p.percentile(99), 0.0);
+  p.add(7.0);
+  p.clear();
+  EXPECT_EQ(p.percentile(50), 0.0);
 }
 
 TEST(Percentiles, MedianOfOddCount) {

@@ -226,5 +226,16 @@ TEST(ThreadPool, DefaultNumThreadsHonorsEnvVar) {
   EXPECT_GE(ThreadPool::default_num_threads(), 1u);
 }
 
+TEST(ThreadPool, DefaultNumThreadsRejectsGarbageEnvValues) {
+  // Non-numeric, negative, and absurdly large values all fall through to
+  // the hardware default, which is clamped to >= 1 even when
+  // hardware_concurrency() reports 0.
+  for (const char* bad : {"abc", "-4", "1e3", "99999", ""}) {
+    ASSERT_EQ(setenv("XRBENCH_THREADS", bad, 1), 0);
+    EXPECT_GE(ThreadPool::default_num_threads(), 1u) << "env = '" << bad << "'";
+  }
+  ASSERT_EQ(unsetenv("XRBENCH_THREADS"), 0);
+}
+
 }  // namespace
 }  // namespace xrbench::util
