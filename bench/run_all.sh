@@ -40,3 +40,26 @@ done
 echo
 echo "== JSON perf records:"
 ls -1 bench_output/BENCH_*.json
+
+# Every study is expected to leave its BENCH_<name>.json perf record — a
+# bench that crashed (logged above) or silently stopped emitting is an
+# error, not a gap in the listing. bench_microbench is the one exception
+# (google-benchmark owns its output format).
+required=(
+  ablation_dvfs ablation_scheduler ablation_score_params costmodel_layers
+  fault_resilience figure5 figure6 figure7 figure8_rtscore fleet_load
+  pareto program_ablation sweep_scaling table1_models table2_scenarios
+  table5_accels
+)
+missing=0
+for name in "${required[@]}"; do
+  if [[ ! -f "bench_output/BENCH_${name}.json" ]]; then
+    echo "MISSING bench_output/BENCH_${name}.json" >&2
+    missing=1
+  fi
+done
+if [[ $missing -ne 0 ]]; then
+  echo "one or more expected bench emitters did not produce JSON" >&2
+  exit 1
+fi
+echo "all ${#required[@]} expected JSON emitters present"

@@ -9,6 +9,13 @@
 //     --scenario-config <file>  run a custom scenario from an INI file
 //     --program <name>          run a registered scenario program
 //     --program-config <file>   run a scenario program from an INI file
+//     --fleet                   run a fleet simulation with the default
+//                               [fleet] config (pool of 2, extension-program
+//                               catalog); --seed sets the fleet seed and
+//                               --csv dumps the per-session ledger
+//     --fleet-config <file>     run a fleet simulation from an INI file
+//                               ([fleet] + [class] + inline programs; see
+//                               src/fleet/fleet_io.h)
 //     --scheduler <name>        any registered scheduler (see --list-policies)
 //     --governor <name>         any registered DVFS governor
 //     --admission <name>        admission control: admit-all (default) or
@@ -54,6 +61,10 @@
 #include "core/harness.h"
 #include "core/report.h"
 #include "core/sweep.h"
+#include "fleet/fleet_io.h"
+#include "fleet/fleet_report.h"
+#include "fleet/fleet_simulator.h"
+#include "fleet/fleet_workload.h"
 #include "hw/config_io.h"
 #include "runtime/policy_registry.h"
 #include "workload/scenario_io.h"
@@ -117,6 +128,8 @@ int main(int argc, char** argv) {
   std::optional<std::string> scenario_config;
   std::optional<std::string> program_name;
   std::optional<std::string> program_config;
+  bool fleet_flag = false;
+  std::optional<std::string> fleet_config;
   std::optional<std::string> csv_path;
   std::optional<std::string> energy_csv_path;
   bool timeline = false;
@@ -124,6 +137,7 @@ int main(int argc, char** argv) {
   bool scheduler_flag = false;
   bool governor_flag = false;
   bool admission_flag = false;
+  bool seed_flag = false;
   core::HarnessOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -140,6 +154,8 @@ int main(int argc, char** argv) {
       else if (arg == "--scenario-config") scenario_config = next();
       else if (arg == "--program") program_name = next();
       else if (arg == "--program-config") program_config = next();
+      else if (arg == "--fleet") fleet_flag = true;
+      else if (arg == "--fleet-config") fleet_config = next();
       else if (arg == "--scheduler") {
         opt.scheduler = checked_scheduler(next());
         scheduler_flag = true;
@@ -169,7 +185,10 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(std::stoul(next()));
       else if (arg == "--duration") opt.run.duration_ms = std::stod(next());
       else if (arg == "--trials") opt.dynamic_trials = std::stoi(next());
-      else if (arg == "--seed") opt.run.seed = std::stoull(next());
+      else if (arg == "--seed") {
+        opt.run.seed = std::stoull(next());
+        seed_flag = true;
+      }
       else if (arg == "--no-jitter") opt.run.enable_jitter = false;
       else if (arg == "--enmax") opt.score.enmax_mj = std::stod(next());
       else if (arg == "--k") opt.score.k = std::stod(next());
@@ -204,6 +223,34 @@ int main(int argc, char** argv) {
                   << "\n";
       }
     };
+
+    if (fleet_flag || fleet_config) {
+      fleet::FleetSetup setup;
+      if (fleet_config) {
+        setup = fleet::load_fleet(*fleet_config);
+      } else {
+        setup.catalog = fleet::resolve_catalog(setup.config);
+      }
+      // Explicit flags override the fleet config's choices, as everywhere.
+      if (seed_flag) setup.config.seed = opt.run.seed;
+      if (scheduler_flag) setup.config.scheduler = opt.scheduler;
+      if (governor_flag) setup.config.governor = opt.governor;
+      if (admission_flag) setup.config.admission = opt.admission;
+      fleet::FleetSimulator sim;  // XRBENCH_THREADS picks the worker count
+      const auto result = sim.run(setup.config, setup.catalog, system, opt);
+      fleet::print_fleet_report(std::cout, result);
+      if (timeline) {
+        std::cout << "\n";
+        core::print_timeline(std::cout, result.last_run,
+                             result.last_run.duration_ms, 10.0);
+      }
+      emit_breakdown(result.last_run);
+      if (csv_path) {
+        fleet::write_fleet_sessions_csv(*csv_path, result);
+        std::cout << "\nSession ledger written to " << *csv_path << "\n";
+      }
+      return 0;
+    }
 
     if (program_name || program_config) {
       auto program = program_config

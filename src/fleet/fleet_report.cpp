@@ -1,0 +1,66 @@
+#include "fleet/fleet_report.h"
+
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace xrbench::fleet {
+namespace {
+
+std::vector<std::string> stats_row(const std::string& label,
+                                   const ServiceStats& stats) {
+  return {label,
+          util::CsvWriter::cell(stats.offered),
+          util::CsvWriter::cell(stats.admitted),
+          util::fmt_percent(stats.drop_rate),
+          util::fmt_double(stats.qoe_p50),
+          util::fmt_double(stats.qoe_p99),
+          util::fmt_double(stats.latency_p50_ms, 2),
+          util::fmt_double(stats.latency_p99_ms, 2),
+          util::fmt_double(stats.wait_p99_ms, 2),
+          util::fmt_double(stats.energy_per_session_mj, 2)};
+}
+
+}  // namespace
+
+void print_fleet_report(std::ostream& os, const FleetResult& result) {
+  os << "Fleet: " << result.sessions.size() << " sessions offered over "
+     << util::fmt_double(result.config.arrival_window_ms, 0) << " ms, pool of "
+     << result.config.pool_size << ", admission '" << result.config.admission
+     << "', offered load " << util::fmt_double(result.offered_load, 2)
+     << " Erlang\n";
+  util::TablePrinter table({"class", "offered", "admitted", "drop", "qoe_p50",
+                            "qoe_p99", "lat_p50_ms", "lat_p99_ms",
+                            "wait_p99_ms", "mj/session"});
+  table.add_row(stats_row("all", result.fleet));
+  for (std::size_t cls = 0; cls < result.per_class.size(); ++cls) {
+    table.add_row(stats_row("class-" + std::to_string(cls),
+                            result.per_class[cls]));
+  }
+  table.print(os);
+}
+
+void write_fleet_sessions_csv(const std::filesystem::path& path,
+                              const FleetResult& result) {
+  util::CsvWriter csv(path);
+  csv.header({"session", "arrival_ms", "class", "program_rank", "admitted",
+              "instance", "start_ms", "wait_ms", "session_qoe", "latency_ms",
+              "energy_mj"});
+  for (const auto& s : result.sessions) {
+    csv.row({util::CsvWriter::cell(static_cast<std::size_t>(s.spec.session_id)),
+             util::CsvWriter::cell(s.spec.arrival_ms),
+             util::CsvWriter::cell(s.spec.priority_class),
+             util::CsvWriter::cell(s.spec.program_rank),
+             util::CsvWriter::cell(static_cast<int>(s.admitted)),
+             util::CsvWriter::cell(s.instance),
+             util::CsvWriter::cell(s.start_ms),
+             util::CsvWriter::cell(s.wait_ms),
+             util::CsvWriter::cell(s.session_qoe),
+             util::CsvWriter::cell(s.latency_ms),
+             util::CsvWriter::cell(s.energy_mj)});
+  }
+}
+
+}  // namespace xrbench::fleet

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+
+#include "fleet/fleet_result.h"
+
+namespace xrbench::fleet {
+
+/// Prints the fleet service-quality report: the offered-load headline, a
+/// fleet-wide summary row and one row per priority class (offered /
+/// admitted / dropped, QoE p50 + low-tail p99, latency and wait
+/// percentiles, energy per session).
+void print_fleet_report(std::ostream& os, const FleetResult& result);
+
+/// Dumps the per-session ledger to CSV (session, arrival, class, program
+/// rank, admitted, instance, start, wait, qoe, latency, energy) — one row
+/// per offered session in id order, rejected sessions included.
+void write_fleet_sessions_csv(const std::filesystem::path& path,
+                              const FleetResult& result);
+
+}  // namespace xrbench::fleet

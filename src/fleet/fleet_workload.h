@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "fleet/fleet_config.h"
+#include "fleet/session.h"
+#include "workload/scenario_program.h"
+
+namespace xrbench::fleet {
+
+/// Resolves the config's program catalog: each name against
+/// workload::program_by_name (inline definitions are handled by fleet_io
+/// before this is reached); an empty list yields the registered extension
+/// programs in registry order. Throws on an empty resolution or a
+/// zero-duration program (its service time would be degenerate).
+std::vector<workload::ScenarioProgram> resolve_catalog(
+    const FleetConfig& config);
+
+/// Stochastic session-population generator (the rdma-dm-sim WorkloadRunner
+/// shape): Poisson arrivals x Zipf program popularity x weighted priority
+/// classes, all drawn from ONE deterministic stream seeded by config.seed.
+///
+/// Determinism contract: exactly three uniform draws per session, in the
+/// fixed order (interarrival gap, popularity, class), so the i-th session's
+/// draws are identical across runs, worker counts and arrival-rate changes
+/// (rates scale the gap but never re-consume the stream) — enforced by
+/// test_zipf / test_fleet.
+struct FleetWorkload {
+  /// Generates the session schedule for `config` against a resolved
+  /// catalog, in arrival order (ids 0..n-1). Stops at the arrival window or
+  /// max_sessions, whichever binds first.
+  static std::vector<SessionSpec> generate(
+      const FleetConfig& config,
+      const std::vector<workload::ScenarioProgram>& catalog);
+};
+
+}  // namespace xrbench::fleet

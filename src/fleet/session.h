@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xrbench::fleet {
+
+/// One user session drawn from the fleet workload: WHO arrives WHEN, runs
+/// WHICH program, at WHAT priority. Pure data — the admission queue and the
+/// per-session trial both consume it.
+struct SessionSpec {
+  std::uint64_t session_id = 0;  ///< Arrival order, 0-based.
+  double arrival_ms = 0.0;       ///< Poisson arrival instant.
+  std::size_t program_rank = 0;  ///< Zipf popularity rank into the catalog.
+  std::size_t priority_class = 0;  ///< Class index (0 = highest priority).
+  /// Service time: the program's total phase duration. Known at arrival, so
+  /// the admission queue is an exact deterministic simulation.
+  double duration_ms = 0.0;
+  /// Per-session trial seed (see session_seed): the session IS one
+  /// SweepEngine-style trial of its program at this seed.
+  std::uint64_t seed = 0;
+};
+
+/// Deterministic per-session trial seed: the fleet seed XOR a golden-ratio
+/// stride of the session id (the same odd constant PR 4 strides phase seed
+/// offsets with), so consecutive sessions land far apart in seed space and
+/// never replay each other's jitter/control-flow streams.
+inline std::uint64_t session_seed(std::uint64_t fleet_seed,
+                                  std::uint64_t session_id) {
+  constexpr std::uint64_t kGoldenStride = 0x9E3779B97F4A7C15ull;
+  return fleet_seed ^ ((session_id + 1) * kGoldenStride);
+}
+
+}  // namespace xrbench::fleet

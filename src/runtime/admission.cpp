@@ -22,6 +22,8 @@ const char* admission_kind_name(AdmissionKind kind) {
       return "admit-all";
     case AdmissionKind::kDropEarly:
       return "drop-early";
+    case AdmissionKind::kFleetQueue:
+      return "fleet-queue";
   }
   throw std::invalid_argument("unknown admission kind");
 }
@@ -33,6 +35,8 @@ std::unique_ptr<AdmissionController> make_admission_controller(
       return std::make_unique<AdmitAllController>();
     case AdmissionKind::kDropEarly:
       return std::make_unique<DropEarlyController>();
+    case AdmissionKind::kFleetQueue:
+      return std::make_unique<FleetQueueController>();
   }
   throw std::invalid_argument("unknown admission kind");
 }

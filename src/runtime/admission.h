@@ -52,15 +52,39 @@ class DropEarlyController final : public AdmissionController {
   bool admit(const DispatchContext& ctx) override;
 };
 
+/// Fleet-level queueing admission (the fleet layer's staged-release queue;
+/// see fleet::FleetSimulator). The fleet simulator consults it once per
+/// SESSION at its arrival, with a synthetic request encoding the decision:
+///
+///   ctx.now_ms          predicted session start (arrival + predicted wait,
+///                       from the current pool state and the queue ahead)
+///   ctx.request->treq_ms  the session's arrival instant
+///   ctx.request->tdl_ms   arrival + the session class's wait budget
+///
+/// Admit iff the predicted start makes the class's wait budget. Inside a
+/// scenario run the same rule degenerates to admit-all (a request's
+/// deadline is never before its arrival), so the controller is safe to
+/// name anywhere an admission policy is accepted.
+class FleetQueueController final : public AdmissionController {
+ public:
+  const char* name() const override { return "fleet-queue"; }
+  bool admit(const DispatchContext& ctx) override {
+    if (ctx.request == nullptr) return true;
+    return ctx.now_ms <= ctx.request->tdl_ms;
+  }
+};
+
 /// Built-in admission policies (mirrors SchedulerKind / GovernorKind).
 enum class AdmissionKind {
   kAdmitAll,
   kDropEarly,
+  kFleetQueue,
 };
 
-inline constexpr std::array<AdmissionKind, 2> kAllAdmissionKinds = {
+inline constexpr std::array<AdmissionKind, 3> kAllAdmissionKinds = {
     AdmissionKind::kAdmitAll,
     AdmissionKind::kDropEarly,
+    AdmissionKind::kFleetQueue,
 };
 
 const char* admission_kind_name(AdmissionKind kind);

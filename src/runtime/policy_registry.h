@@ -36,7 +36,7 @@ class PolicyRegistry {
   /// "least-loaded"; governors "fixed-lowest", "fixed-nominal",
   /// "fixed-highest", "deadline-aware", "race-to-idle", "ondemand",
   /// "utilization-feedback"; admission controllers "admit-all",
-  /// "drop-early".
+  /// "drop-early", "fleet-queue".
   static PolicyRegistry& instance();
 
   /// Registers a factory. Throws std::invalid_argument on an empty name or

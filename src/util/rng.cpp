@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace xrbench::util {
 namespace {
@@ -72,6 +73,14 @@ bool Rng::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("Rng::exponential: rate must be > 0");
+  }
+  // uniform() is in [0, 1), so 1 - u is in (0, 1] and the log is finite.
+  return -std::log(1.0 - uniform()) / rate;
 }
 
 double hash_unit_interval(std::uint64_t key) {

@@ -39,6 +39,12 @@ class Rng {
   /// Bernoulli trial with probability p (clamped to [0,1]).
   bool bernoulli(double p);
 
+  /// Exponentially-distributed value with the given rate (mean 1/rate):
+  /// the Poisson-process interarrival gap. Requires rate > 0. Consumes
+  /// exactly one uniform draw (the fixed draw count per sample is part of
+  /// the fleet workload determinism contract).
+  double exponential(double rate);
+
  private:
   std::uint64_t state_[4] = {};
   double cached_gaussian_ = 0.0;

@@ -1,0 +1,41 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace xrbench::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfSampler: n must be > 0");
+  }
+  if (s < 0.0) {
+    throw std::invalid_argument("ZipfSampler: exponent s must be >= 0, got " +
+                                std::to_string(s));
+  }
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(double u) const {
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank >= cdf_.size()) {
+    throw std::out_of_range("ZipfSampler: rank out of range");
+  }
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace xrbench::util

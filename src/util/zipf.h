@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace xrbench::util {
+
+/// Deterministic Zipf(s) sampler over ranks [0, n): rank 0 is the most
+/// popular outcome, rank r has probability proportional to 1/(r+1)^s.
+/// s = 0 degenerates to the uniform distribution; larger s concentrates
+/// mass on the head (fleet scenario popularity follows the classic
+/// workload-generator shape: a few programs dominate the traffic).
+///
+/// The CDF is precomputed once, so sampling is a branch-free binary search
+/// consuming exactly ONE uniform draw per sample — the draw count per
+/// sample is part of the fleet determinism contract (a generator that
+/// consumed a data-dependent number of draws would shift every downstream
+/// stream when a parameter changes).
+class ZipfSampler {
+ public:
+  /// Throws std::invalid_argument when n == 0 or s < 0.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Rank in [0, n) for a uniform u in [0, 1).
+  std::size_t sample(double u) const;
+
+  /// Rank in [0, n), consuming one draw from `rng`.
+  std::size_t sample(Rng& rng) const { return sample(rng.uniform()); }
+
+  /// P(rank): normalized 1/(rank+1)^s. Ranks are monotone: probability(r)
+  /// >= probability(r+1).
+  double probability(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  double s_ = 1.0;
+  std::vector<double> cdf_;  ///< cdf_[r] = P(rank <= r); back() == 1.
+};
+
+}  // namespace xrbench::util

@@ -184,23 +184,12 @@ std::string to_config_text(const ScenarioProgram& program) {
   return doc.to_string();
 }
 
-ScenarioProgram program_from_config_text(const std::string& text) {
-  const auto doc = util::IniDocument::parse(text);
-  const auto& head = doc.section("program");
-
-  ScenarioProgram program;
-  program.name = head.get("name");
-  program.description = head.get_or("description", "");
-  program.scheduler = head.get_or("scheduler", "");
-  program.governor = head.get_or("governor", "");
-  program.admission = head.get_or("admission", "");
-  if (doc.has_section("faults")) {
-    program.faults =
-        runtime::parse_fault_section(doc.section("faults"), "program config");
-  }
-
+std::vector<ScenarioProgram> programs_from_document(
+    const util::IniDocument& doc) {
   // First pass: collect inline scenario definitions in section order —
   // each [scenario] header owns the [model] sections that follow it.
+  // Inline definitions are file-global: every program's phases may
+  // reference any of them.
   std::vector<UsageScenario> inline_scenarios;
   for (const auto& sec : doc.all_sections()) {
     if (sec.name == "scenario") {
@@ -225,35 +214,67 @@ ScenarioProgram program_from_config_text(const std::string& text) {
   }
   for (const auto& s : inline_scenarios) validate_parsed_scenario(s);
 
-  // Second pass: phases, resolving inline definitions before the built-in
-  // scenario registries.
-  for (const auto* sec : doc.sections("phase")) {
-    ScenarioPhase phase;
-    const std::string ref = sec->get("scenario");
-    const UsageScenario* resolved = nullptr;
-    for (const auto& s : inline_scenarios) {
-      if (s.name == ref) resolved = &s;
-    }
-    phase.scenario = resolved != nullptr ? *resolved : scenario_by_name(ref);
-    phase.duration_ms = sec->get_double("duration_ms");
-    if (phase.duration_ms <= 0.0) {
-      throw std::invalid_argument(
-          "program config: duration_ms must be > 0 (line " +
-          std::to_string(sec->line_of("duration_ms")) + ")");
-    }
-    if (sec->has("seed_offset")) {
-      const std::int64_t off = sec->get_int("seed_offset");
-      if (off < 0) {
+  // Second pass: programs, in section order. [phase] and [faults] sections
+  // attach to the most recent [program] header; phase references resolve
+  // inline definitions before the built-in scenario registries.
+  std::vector<ScenarioProgram> programs;
+  for (const auto& sec : doc.all_sections()) {
+    if (sec.name == "program") {
+      ScenarioProgram program;
+      program.name = sec.get("name");
+      program.description = sec.get_or("description", "");
+      program.scheduler = sec.get_or("scheduler", "");
+      program.governor = sec.get_or("governor", "");
+      program.admission = sec.get_or("admission", "");
+      programs.push_back(std::move(program));
+    } else if (sec.name == "faults") {
+      if (programs.empty()) {
         throw std::invalid_argument(
-            "program config: seed_offset must be >= 0 (line " +
-            std::to_string(sec->line_of("seed_offset")) + ")");
+            "program config: [faults] section before any [program] (line " +
+            std::to_string(sec.line) + ")");
       }
-      phase.seed_offset = static_cast<std::uint64_t>(off);
+      programs.back().faults =
+          runtime::parse_fault_section(sec, "program config");
+    } else if (sec.name == "phase") {
+      if (programs.empty()) {
+        throw std::invalid_argument(
+            "program config: [phase] section before any [program] (line " +
+            std::to_string(sec.line) + ")");
+      }
+      ScenarioPhase phase;
+      const std::string ref = sec.get("scenario");
+      const UsageScenario* resolved = nullptr;
+      for (const auto& s : inline_scenarios) {
+        if (s.name == ref) resolved = &s;
+      }
+      phase.scenario = resolved != nullptr ? *resolved : scenario_by_name(ref);
+      phase.duration_ms = sec.get_double("duration_ms");
+      if (phase.duration_ms <= 0.0) {
+        throw std::invalid_argument(
+            "program config: duration_ms must be > 0 (line " +
+            std::to_string(sec.line_of("duration_ms")) + ")");
+      }
+      if (sec.has("seed_offset")) {
+        const std::int64_t off = sec.get_int("seed_offset");
+        if (off < 0) {
+          throw std::invalid_argument(
+              "program config: seed_offset must be >= 0 (line " +
+              std::to_string(sec.line_of("seed_offset")) + ")");
+        }
+        phase.seed_offset = static_cast<std::uint64_t>(off);
+      }
+      programs.back().phases.push_back(std::move(phase));
     }
-    program.phases.push_back(std::move(phase));
   }
-  validate_program(program);
-  return program;
+  for (const auto& program : programs) validate_program(program);
+  return programs;
+}
+
+ScenarioProgram program_from_config_text(const std::string& text) {
+  const auto doc = util::IniDocument::parse(text);
+  doc.section("program");  // exactly one [program]; throws otherwise
+  auto programs = programs_from_document(doc);
+  return std::move(programs.front());
 }
 
 void save_program(const ScenarioProgram& program,

@@ -2,7 +2,9 @@
 
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "util/ini.h"
 #include "workload/scenario.h"
 #include "workload/scenario_program.h"
 
@@ -67,6 +69,16 @@ UsageScenario load_scenario(const std::filesystem::path& path);
 
 std::string to_config_text(const ScenarioProgram& program);
 ScenarioProgram program_from_config_text(const std::string& text);
+
+/// Parses every [program] of an already-parsed document, in section order.
+/// Inline [scenario]/[model] definitions are file-global (any program's
+/// phases may reference them); [phase] and [faults] sections belong to the
+/// most recent [program] header (a [phase]/[faults] before any [program] is
+/// rejected with its source line). program_from_config_text is the
+/// single-program wrapper; fleet configs carry several session programs in
+/// one file and resolve them through this entry point.
+std::vector<ScenarioProgram> programs_from_document(
+    const util::IniDocument& doc);
 
 void save_program(const ScenarioProgram& program,
                   const std::filesystem::path& path);

@@ -1,0 +1,123 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace xrbench::util {
+namespace {
+
+TEST(ZipfSampler, RankZeroIsMostPopular) {
+  const ZipfSampler zipf(6, 1.0);
+  for (std::size_t rank = 1; rank < zipf.size(); ++rank) {
+    EXPECT_GT(zipf.probability(0), zipf.probability(rank)) << rank;
+  }
+}
+
+TEST(ZipfSampler, ProbabilitiesAreMonotoneAndNormalized) {
+  const ZipfSampler zipf(8, 1.2);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < zipf.size(); ++rank) {
+    total += zipf.probability(rank);
+    if (rank > 0) {
+      EXPECT_GT(zipf.probability(rank - 1), zipf.probability(rank)) << rank;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform) {
+  const ZipfSampler zipf(5, 0.0);
+  for (std::size_t rank = 0; rank < zipf.size(); ++rank) {
+    EXPECT_NEAR(zipf.probability(rank), 0.2, 1e-12);
+  }
+}
+
+TEST(ZipfSampler, InverseCdfCoversTheUnitInterval) {
+  const ZipfSampler zipf(4, 1.0);
+  EXPECT_EQ(zipf.sample(0.0), 0u);
+  EXPECT_EQ(zipf.sample(zipf.probability(0) / 2.0), 0u);
+  EXPECT_EQ(zipf.sample(0.999999), 3u);
+  // Just past rank 0's mass lands on rank 1.
+  EXPECT_EQ(zipf.sample(zipf.probability(0) + 1e-9), 1u);
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesAreMonotone) {
+  // Seeded draw, so this is a deterministic check; n and the sample count
+  // are sized so adjacent Zipf(s=1) gaps dwarf sampling noise anyway.
+  const ZipfSampler zipf(5, 1.0);
+  Rng rng(7);
+  std::vector<int> counts(zipf.size(), 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t rank = 1; rank < counts.size(); ++rank) {
+    EXPECT_GT(counts[rank - 1], counts[rank]) << rank;
+  }
+}
+
+TEST(ZipfSampler, SamplingIsBitExactAcrossReruns) {
+  const ZipfSampler zipf(7, 0.9);
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.sample(a), zipf.sample(b)) << i;
+  }
+}
+
+TEST(ZipfSampler, OneSampleConsumesExactlyOneDraw) {
+  // The fleet determinism contract counts draws; a sampler that consumed a
+  // variable number would silently shift every downstream decision.
+  const ZipfSampler zipf(9, 1.1);
+  Rng a(55);
+  Rng b(55);
+  for (int i = 0; i < 100; ++i) zipf.sample(a);
+  for (int i = 0; i < 100; ++i) b.uniform();
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(ZipfSampler, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(3, -0.1), std::invalid_argument);
+  const ZipfSampler zipf(3, 1.0);
+  EXPECT_THROW(zipf.probability(3), std::out_of_range);
+}
+
+TEST(RngExponential, MeanMatchesRate) {
+  Rng rng(42);
+  const double rate = 0.25;
+  double total = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(rate);
+  EXPECT_NEAR(total / n, 1.0 / rate, 0.1);
+}
+
+TEST(RngExponential, GapsArePositiveAndBitExactAcrossReruns) {
+  Rng a(9);
+  Rng b(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double gap = a.exponential(2.0);
+    EXPECT_GT(gap, 0.0);
+    EXPECT_EQ(gap, b.exponential(2.0)) << i;
+  }
+}
+
+TEST(RngExponential, ScalesInverselyWithRate) {
+  // Rate changes rescale the SAME uniform draw — the fleet leans on this to
+  // keep session populations comparable across arrival-rate sweeps.
+  Rng a(17);
+  Rng b(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.exponential(1.0), 4.0 * b.exponential(4.0)) << i;
+  }
+}
+
+TEST(RngExponential, RejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xrbench::util
