@@ -112,6 +112,56 @@ int main() {
                                   rec.backoff_ms, rec.admission));
     }
   }
+  const std::size_t section_b_end = points.size();
+
+  // ---- Section C: recovery ladder on correlated fault domains -----------
+  // Four rungs on the IDENTICAL fault schedule (retries, checkpointing and
+  // the scheduler are response-side knobs — none feeds the window/transient
+  // streams): give up, retry from layer 0, retry from the checkpointed
+  // layer, and finally place around units whose domain recently killed
+  // work. Runs on the 4-way heterogeneous design M with its two chiplets as
+  // correlated fault domains, so a domain outage downs a WS+OS pair at once.
+  auto ladder_system =
+      hw::with_default_dvfs(hw::make_accelerator('M', 4096));
+  ladder_system.fault_domains = {{0, 1}, {2, 3}};
+  struct Rung {
+    const char* name;
+    int retries;
+    bool checkpoint;
+    const char* sched;
+  };
+  const std::vector<Rung> ladder = {
+      {"none", 0, false, "edf"},
+      {"retry", 2, false, "edf"},
+      {"retry+ckpt", 2, true, "edf"},
+      {"retry+ckpt+fault-aware", 2, true, "fault-aware"},
+  };
+  for (const auto& rung : ladder) {
+    core::HarnessOptions opt;
+    opt.scheduler = rung.sched;
+    opt.governor = "deadline-aware";
+    opt.admission = "admit-all";
+    opt.dynamic_trials = 6;
+    opt.run.faults = profile(0.05, rung.retries, 2.0);
+    // Degradation-heavy variant of the 5% profile: longer outages make
+    // mid-flight kills (the events checkpoints answer) expensive, and
+    // denser throttle windows create slowed-but-alive units that placement
+    // policies can route around.
+    opt.run.faults.outage_ms = 40.0;
+    opt.run.faults.throttle_rate_per_s = 2.0;
+    opt.run.faults.throttle_ms = 30.0;
+    opt.run.faults.checkpoint = rung.checkpoint;
+    opt.run.faults.checkpoint_overhead_ms = 0.5;
+    core::ProgramSweepPoint point;
+    point.system = ladder_system;
+    point.options = opt;
+    point.program = program;
+    point.program.scheduler.clear();
+    point.program.governor.clear();
+    point.program.admission.clear();
+    point.program.faults = runtime::FaultSpec{};
+    points.push_back(std::move(point));
+  }
 
   core::SweepEngine engine;
   const auto outcomes = engine.run_program_points(points);
@@ -183,9 +233,38 @@ int main() {
             << util::fmt_double(qoe_retry_drop_early / n) << "\n";
   std::cout << "Per-point scores are in bench_output/fault_resilience.csv\n";
 
+  std::cout << "\n=== Recovery ladder at 5% transient rate (M @ 4K PEs, "
+               "fault domains {0,1} {2,3}, identical fault schedule) ===\n\n";
+  util::TablePrinter ladder_table({"Recovery", "QoE", "overall", "energy_mJ",
+                                   "drop", "resumes", "saved_ms"});
+  std::vector<double> ladder_qoe(ladder.size(), 0.0);
+  for (std::size_t l = 0; l < ladder.size(); ++l) {
+    const auto& out = outcomes[section_b_end + l];
+    total_runs += out.trials;
+    ladder_qoe[l] = out.score.qoe;
+    const auto& res = out.last_run.resilience;
+    ladder_table.add_row({ladder[l].name, util::fmt_double(out.score.qoe),
+                          util::fmt_double(out.score.overall),
+                          util::fmt_double(out.score.total_energy_mj, 1),
+                          util::fmt_percent(out.score.frame_drop_rate),
+                          util::CsvWriter::cell(res.resumes),
+                          util::fmt_double(res.checkpoint_saved_ms, 2)});
+    csv.row({"ladder", util::CsvWriter::cell(0.05), ladder[l].sched,
+             "deadline-aware", ladder[l].name,
+             util::CsvWriter::cell(out.score.qoe),
+             util::CsvWriter::cell(out.score.overall),
+             util::CsvWriter::cell(out.score.total_energy_mj),
+             util::CsvWriter::cell(out.score.frame_drop_rate)});
+  }
+  ladder_table.print(std::cout);
+
   bench.set_runs(total_runs);
   bench.add_metric("points", static_cast<double>(points.size()));
   bench.add_metric("qoe_no_recovery", qoe_no_recovery / n);
   bench.add_metric("qoe_retry_drop_early", qoe_retry_drop_early / n);
+  bench.add_metric("qoe_ladder_none", ladder_qoe[0]);
+  bench.add_metric("qoe_ladder_retry", ladder_qoe[1]);
+  bench.add_metric("qoe_ladder_retry_ckpt", ladder_qoe[2]);
+  bench.add_metric("qoe_ladder_retry_ckpt_fault_aware", ladder_qoe[3]);
   return 0;
 }

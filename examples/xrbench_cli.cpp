@@ -28,6 +28,9 @@
 //     --fault-throttle-rate <hz> thermal-throttle windows per second
 //     --fault-throttle-ms <ms>  throttle window duration
 //     --fault-throttle-level <l> DVFS level cap inside throttle windows
+//     --fault-checkpoint        resume killed inferences from the last
+//                               completed layer instead of layer 0
+//     --fault-checkpoint-overhead <ms>  restore cost per resumed dispatch
 //     --duration <ms>           run duration (default 1000)
 //     --trials <n>              trials for dynamic scenarios (default 20)
 //     --seed <n>                base seed (default 42)
@@ -183,6 +186,10 @@ int main(int argc, char** argv) {
       else if (arg == "--fault-throttle-level")
         opt.run.faults.throttle_max_level =
             static_cast<std::size_t>(std::stoul(next()));
+      else if (arg == "--fault-checkpoint")
+        opt.run.faults.checkpoint = true;
+      else if (arg == "--fault-checkpoint-overhead")
+        opt.run.faults.checkpoint_overhead_ms = std::stod(next());
       else if (arg == "--duration") opt.run.duration_ms = std::stod(next());
       else if (arg == "--trials") opt.dynamic_trials = std::stoi(next());
       else if (arg == "--seed") {

@@ -62,7 +62,14 @@ void print_benchmark_report(std::ostream& os,
     os << "  resilience [" << sc.score.scenario_name << "]: faults "
        << res.transient_faults << ", retries " << res.retries
        << ", failovers " << res.failovers << ", drops early/late "
-       << res.drops_early << "/" << res.drops_late << "\n";
+       << res.drops_early << "/" << res.drops_late;
+    // Checkpoint counters only when checkpointing actually resumed work,
+    // keeping checkpoint-free fault runs byte-stable.
+    if (res.resumes > 0) {
+      os << ", resumes " << res.resumes << " (saved "
+         << fmt_double(res.checkpoint_saved_ms, 2) << " ms)";
+    }
+    os << "\n";
   }
 }
 
@@ -100,8 +107,12 @@ void print_scenario_report(std::ostream& os, const ScenarioOutcome& outcome) {
        << ", retries " << res.retries << " (give-ups " << res.retry_give_ups
        << "), outage kills " << res.outage_kills << ", failovers "
        << res.failovers << ", throttle clamps " << res.throttle_clamps
-       << ", drops early/late " << res.drops_early << "/" << res.drops_late
-       << "\n";
+       << ", drops early/late " << res.drops_early << "/" << res.drops_late;
+    if (res.resumes > 0) {
+      os << ", resumes " << res.resumes << " (saved "
+         << fmt_double(res.checkpoint_saved_ms, 2) << " ms)";
+    }
+    os << "\n";
   }
 }
 

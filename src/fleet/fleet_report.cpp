@@ -23,6 +23,20 @@ std::vector<std::string> stats_row(const std::string& label,
           util::fmt_double(stats.energy_per_session_mj, 2)};
 }
 
+std::vector<std::string> resilience_row(const std::string& label,
+                                        const runtime::ResilienceStats& res) {
+  return {label,
+          util::CsvWriter::cell(res.transient_faults),
+          util::CsvWriter::cell(res.retries),
+          util::CsvWriter::cell(res.retry_give_ups),
+          util::CsvWriter::cell(res.outage_kills),
+          util::CsvWriter::cell(res.failovers),
+          util::CsvWriter::cell(res.resumes),
+          util::fmt_double(res.checkpoint_saved_ms, 2),
+          util::CsvWriter::cell(res.drops_early),
+          util::CsvWriter::cell(res.drops_late)};
+}
+
 }  // namespace
 
 void print_fleet_report(std::ostream& os, const FleetResult& result) {
@@ -40,26 +54,63 @@ void print_fleet_report(std::ostream& os, const FleetResult& result) {
                             result.per_class[cls]));
   }
   table.print(os);
+  // Resilience breakdown, gated on any session's trial actually running
+  // under fault injection — fault-free fleets print exactly what they
+  // always did (the fleet-demo byte-identity anchor).
+  if (result.fleet.resilience.enabled) {
+    os << "Resilience (merged over admitted sessions):\n";
+    util::TablePrinter res_table({"class", "faults", "retries", "give-ups",
+                                  "kills", "failovers", "resumes", "saved_ms",
+                                  "drops_early", "drops_late"});
+    res_table.add_row(resilience_row("all", result.fleet.resilience));
+    for (std::size_t cls = 0; cls < result.per_class.size(); ++cls) {
+      res_table.add_row(resilience_row("class-" + std::to_string(cls),
+                                       result.per_class[cls].resilience));
+    }
+    res_table.print(os);
+  }
 }
 
 void write_fleet_sessions_csv(const std::filesystem::path& path,
                               const FleetResult& result) {
   util::CsvWriter csv(path);
-  csv.header({"session", "arrival_ms", "class", "program_rank", "admitted",
-              "instance", "start_ms", "wait_ms", "session_qoe", "latency_ms",
-              "energy_mj"});
+  // Resilience columns appear only when some session ran under fault
+  // injection, so fault-free fleets keep their historical CSV bytes.
+  const bool with_resilience = result.fleet.resilience.enabled;
+  std::vector<std::string> header = {
+      "session", "arrival_ms", "class", "program_rank", "admitted",
+      "instance", "start_ms", "wait_ms", "session_qoe", "latency_ms",
+      "energy_mj"};
+  if (with_resilience) {
+    header.insert(header.end(),
+                  {"faults", "retries", "kills", "failovers", "resumes",
+                   "saved_ms"});
+  }
+  csv.header(header);
   for (const auto& s : result.sessions) {
-    csv.row({util::CsvWriter::cell(static_cast<std::size_t>(s.spec.session_id)),
-             util::CsvWriter::cell(s.spec.arrival_ms),
-             util::CsvWriter::cell(s.spec.priority_class),
-             util::CsvWriter::cell(s.spec.program_rank),
-             util::CsvWriter::cell(static_cast<int>(s.admitted)),
-             util::CsvWriter::cell(s.instance),
-             util::CsvWriter::cell(s.start_ms),
-             util::CsvWriter::cell(s.wait_ms),
-             util::CsvWriter::cell(s.session_qoe),
-             util::CsvWriter::cell(s.latency_ms),
-             util::CsvWriter::cell(s.energy_mj)});
+    std::vector<std::string> row = {
+        util::CsvWriter::cell(static_cast<std::size_t>(s.spec.session_id)),
+        util::CsvWriter::cell(s.spec.arrival_ms),
+        util::CsvWriter::cell(s.spec.priority_class),
+        util::CsvWriter::cell(s.spec.program_rank),
+        util::CsvWriter::cell(static_cast<int>(s.admitted)),
+        util::CsvWriter::cell(s.instance),
+        util::CsvWriter::cell(s.start_ms),
+        util::CsvWriter::cell(s.wait_ms),
+        util::CsvWriter::cell(s.session_qoe),
+        util::CsvWriter::cell(s.latency_ms),
+        util::CsvWriter::cell(s.energy_mj)};
+    if (with_resilience) {
+      const auto& res = s.resilience;
+      row.insert(row.end(),
+                 {util::CsvWriter::cell(res.transient_faults),
+                  util::CsvWriter::cell(res.retries),
+                  util::CsvWriter::cell(res.outage_kills),
+                  util::CsvWriter::cell(res.failovers),
+                  util::CsvWriter::cell(res.resumes),
+                  util::CsvWriter::cell(res.checkpoint_saved_ms)});
+    }
+    csv.row(row);
   }
 }
 

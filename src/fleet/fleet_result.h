@@ -30,6 +30,9 @@ struct SessionOutcome {
   /// of the trial. Undefined (0) for rejected sessions — they are excluded
   /// from latency percentiles but counted as drops.
   double latency_ms = 0.0;
+  /// Fault-injection counters of the session's trial run (enabled = false
+  /// and all-zero for rejected sessions and fault-free fleets).
+  runtime::ResilienceStats resilience;
 };
 
 /// Cross-session service-quality summary (fleet-wide or per class).
@@ -52,6 +55,9 @@ struct ServiceStats {
   double wait_p50_ms = 0.0;
   double wait_p99_ms = 0.0;
   double energy_per_session_mj = 0.0;  ///< Mean over admitted sessions.
+  /// Fault-injection counters merged over the covered sessions' trials
+  /// (enabled stays false for fault-free fleets, gating report output).
+  runtime::ResilienceStats resilience;
 };
 
 /// Complete outcome of one fleet simulation. Sessions are merged in

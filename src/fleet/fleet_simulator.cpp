@@ -128,6 +128,7 @@ ServiceStats summarize(const std::vector<SessionOutcome>& sessions,
     latency.add(s.latency_ms);
     wait.add(s.wait_ms);
     energy += s.energy_mj;
+    stats.resilience.merge(s.resilience);
   }
   if (stats.offered > 0) {
     stats.drop_rate = static_cast<double>(stats.rejected) /
@@ -289,6 +290,7 @@ FleetResult FleetSimulator::run(
          (session.spec.duration_ms + session.wait_ms));
     session.latency_ms =
         session.wait_ms + mean_executed_latency_ms(outcome.last_run);
+    session.resilience = outcome.last_run.resilience;
     if (p + 1 == outcomes.size()) {
       result.last_run = std::move(outcome.last_run);
     }

@@ -40,6 +40,13 @@ struct AcceleratorSystem {
   /// differ only here still share sweep cost tables. Overridable per run
   /// via RunConfig::faults and per program via ScenarioProgram::faults.
   runtime::FaultSpec faults;
+  /// Correlated fault domains: groups of sub-accelerator indices that share
+  /// one outage/throttle schedule (a thermal or power event hits the whole
+  /// group at once; think units hanging off one PLL / power rail). Parsed
+  /// from repeated [fault_domain] config sections. Empty (the default)
+  /// keeps every unit on its own independent fault stream — bit-identical
+  /// to pre-domain behavior. A unit may belong to at most one domain.
+  std::vector<std::vector<std::size_t>> fault_domains;
 
   std::int64_t total_pes() const;
   std::size_t num_sub_accels() const { return sub_accels.size(); }

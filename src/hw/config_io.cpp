@@ -121,6 +121,55 @@ DvfsState parse_dvfs(const util::IniDocument::Section& sec, double clock_ghz) {
   return dvfs;
 }
 
+/// Parses one [fault_domain] section's `members` key — a comma list of
+/// sub-accelerator indices — validating every index against `num_sub_accels`
+/// and against `claimed` (a unit may belong to at most one domain). All
+/// rejections carry the 1-based source line of the members key, matching
+/// the [faults]/dvfs error convention.
+std::vector<std::size_t> parse_fault_domain(
+    const util::IniDocument::Section& sec, std::size_t num_sub_accels,
+    std::vector<char>& claimed) {
+  if (!sec.has("members")) {
+    throw std::invalid_argument(
+        "accelerator config: [fault_domain] requires a members key");
+  }
+  const int line = sec.line_of("members");
+  auto fail = [line](const std::string& msg) {
+    dvfs_error(line, msg);
+  };
+  std::vector<std::size_t> members;
+  std::istringstream in(sec.get("members"));
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    std::int64_t index = 0;
+    try {
+      std::size_t pos = 0;
+      index = std::stoll(token, &pos);
+      if (token.find_first_not_of(" \t", pos) != std::string::npos) {
+        throw std::invalid_argument("trailing characters");
+      }
+    } catch (const std::exception&) {
+      fail("fault_domain members entry '" + token + "' is not an integer");
+    }
+    if (index < 0 || index >= static_cast<std::int64_t>(num_sub_accels)) {
+      fail("fault_domain member " + std::to_string(index) +
+           " does not name a [sub_accel] (system has " +
+           std::to_string(num_sub_accels) + ")");
+    }
+    const auto sa = static_cast<std::size_t>(index);
+    if (claimed[sa] != 0) {
+      fail("sub-accelerator " + std::to_string(index) +
+           " already belongs to a fault domain");
+    }
+    claimed[sa] = 1;
+    members.push_back(sa);
+  }
+  if (members.empty()) {
+    fail("fault_domain members must list at least one sub-accelerator");
+  }
+  return members;
+}
+
 }  // namespace
 
 AccelStyle parse_accel_style(const std::string& name) {
@@ -170,6 +219,17 @@ std::string to_config_text(const AcceleratorSystem& system) {
       sec.set("dvfs_idle_mw", fmt_double_exact(sa.dvfs.idle_mw));
     }
   }
+  // Optional [fault_domain] sections after the units they reference; no
+  // domains writes nothing, keeping pre-domain configs byte-identical.
+  for (const auto& domain : system.fault_domains) {
+    auto& sec = doc.add_section("fault_domain");
+    std::string members;
+    for (std::size_t sa : domain) {
+      if (!members.empty()) members += ", ";
+      members += std::to_string(sa);
+    }
+    sec.set("members", members);
+  }
   return doc.to_string();
 }
 
@@ -213,6 +273,14 @@ AcceleratorSystem from_config_text(const std::string& text) {
           "accelerator config: invalid [sub_accel] resources for " + sa.id);
     }
     system.sub_accels.push_back(std::move(sa));
+  }
+  const auto domains = doc.sections("fault_domain");
+  if (!domains.empty()) {
+    std::vector<char> claimed(system.sub_accels.size(), 0);
+    for (const auto* sec : domains) {
+      system.fault_domains.push_back(
+          parse_fault_domain(*sec, system.sub_accels.size(), claimed));
+    }
   }
   return system;
 }

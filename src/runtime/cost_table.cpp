@@ -34,16 +34,47 @@ CostTable::CostTable(const hw::AcceleratorSystem& system,
   }
 
   costs_.resize(models::kNumTasks * total_levels_);
+  task_layers_.resize(models::kNumTasks);
+  prefix_base_.resize(models::kNumTasks);
+  std::size_t prefix_entries = 0;
+  for (models::TaskId task : models::all_tasks()) {
+    const std::size_t t = models::task_index(task);
+    task_layers_[t] = models::model_graph(task).num_layers();
+    prefix_base_[t] = prefix_entries;
+    prefix_entries += (task_layers_[t] + 1) * total_levels_;
+  }
+  lat_prefix_.resize(prefix_entries);
+  energy_prefix_.resize(prefix_entries);
+  static_prefix_.resize(prefix_entries);
   for (models::TaskId task : models::all_tasks()) {
     const auto& graph = models::model_graph(task);
-    const std::size_t row = models::task_index(task) * total_levels_;
+    const std::size_t t = models::task_index(task);
+    const std::size_t row = t * total_levels_;
+    const std::size_t num_layers = task_layers_[t];
     for (std::size_t sa = 0; sa < num_sub_accels_; ++sa) {
       for (std::size_t lvl = 0; lvl < num_levels_[sa]; ++lvl) {
+        const std::size_t cell = level_offset_[sa] + lvl;
         const auto mc =
             cost_model.model_cost_at(graph, system.sub_accels[sa], lvl);
-        costs_[row + level_offset_[sa] + lvl] =
+        costs_[row + cell] =
             ExecutionCost{mc.latency_ms, mc.energy_mj, mc.static_energy_mj,
                           mc.avg_utilization};
+        // Prefix sums in the same left-to-right order as model_cost_at's
+        // totals, so prefix[num_layers] == the whole-model cost bit-exactly
+        // (a resume at layer 0 is indistinguishable from a fresh dispatch).
+        const std::size_t base = prefix_base_[t] + cell * (num_layers + 1);
+        double lat = 0.0, energy = 0.0, stat = 0.0;
+        lat_prefix_[base] = 0.0;
+        energy_prefix_[base] = 0.0;
+        static_prefix_[base] = 0.0;
+        for (std::size_t k = 0; k < num_layers; ++k) {
+          lat += mc.layers[k].latency_ms;
+          energy += mc.layers[k].energy_mj;
+          stat += mc.layers[k].static_energy_mj;
+          lat_prefix_[base + k + 1] = lat;
+          energy_prefix_[base + k + 1] = energy;
+          static_prefix_[base + k + 1] = stat;
+        }
       }
     }
   }
@@ -80,6 +111,40 @@ const ExecutionCost& CostTable::cost(models::TaskId task,
   }
   return costs_[models::task_index(task) * total_levels_ +
                 level_offset_[sub_accel] + level];
+}
+
+std::size_t CostTable::prefix_index(models::TaskId task,
+                                    std::size_t sub_accel, std::size_t level,
+                                    std::size_t layer) const {
+  check_sub_accel(sub_accel);
+  if (level >= num_levels_[sub_accel]) {
+    throw std::out_of_range("CostTable: DVFS level out of range");
+  }
+  const std::size_t t = models::task_index(task);
+  if (layer > task_layers_[t]) {
+    throw std::out_of_range("CostTable: layer prefix out of range");
+  }
+  return prefix_base_[t] +
+         (level_offset_[sub_accel] + level) * (task_layers_[t] + 1) + layer;
+}
+
+std::size_t CostTable::completed_layers(models::TaskId task,
+                                        std::size_t sub_accel,
+                                        std::size_t level,
+                                        std::size_t from_layer,
+                                        double elapsed_ms) const {
+  const std::size_t t = models::task_index(task);
+  const std::size_t num_layers = task_layers_[t];
+  const std::size_t base = prefix_index(task, sub_accel, level, 0);
+  if (from_layer > num_layers) {
+    throw std::out_of_range("CostTable::completed_layers: from_layer");
+  }
+  const double start = lat_prefix_[base + from_layer];
+  std::size_t k = from_layer;
+  while (k < num_layers && lat_prefix_[base + k + 1] - start <= elapsed_ms) {
+    ++k;
+  }
+  return k;
 }
 
 std::size_t CostTable::fastest_sub_accel(models::TaskId task) const {

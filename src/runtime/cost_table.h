@@ -81,6 +81,41 @@ class CostTable {
   /// idle-power term — the runner skips idle accounting entirely then.
   double idle_power_w(std::size_t sub_accel, std::size_t level) const;
 
+  // ---- Layer-granular cost prefixes (checkpoint/resume) ------------------
+  // Per (task, sub-accel, level) prefix sums over the model's layers, in
+  // graph order and summed left-to-right exactly like model_cost_at — so
+  // prefix[num_layers] is bit-identical to the whole-model cost above, and
+  // a resume at layer k pays exactly (total - prefix[k]).
+
+  /// Number of layers in `task`'s model graph.
+  std::size_t num_layers(models::TaskId task) const {
+    return task_layers_[models::task_index(task)];
+  }
+  /// Sum of the first `layer` layers' latencies (0 <= layer <= num_layers).
+  double layer_latency_prefix_ms(models::TaskId task, std::size_t sub_accel,
+                                 std::size_t level, std::size_t layer) const {
+    return lat_prefix_[prefix_index(task, sub_accel, level, layer)];
+  }
+  /// Sum of the first `layer` layers' total energies.
+  double layer_energy_prefix_mj(models::TaskId task, std::size_t sub_accel,
+                                std::size_t level, std::size_t layer) const {
+    return energy_prefix_[prefix_index(task, sub_accel, level, layer)];
+  }
+  /// Sum of the first `layer` layers' static (leakage) energies.
+  double layer_static_prefix_mj(models::TaskId task, std::size_t sub_accel,
+                                std::size_t level, std::size_t layer) const {
+    return static_prefix_[prefix_index(task, sub_accel, level, layer)];
+  }
+  /// Number of layers fully completed by an execution that started at layer
+  /// `from_layer` and ran for `elapsed_ms` on (sub_accel, level): the
+  /// largest k in [from_layer, num_layers] with
+  /// prefix[k] - prefix[from_layer] <= elapsed_ms. A deterministic forward
+  /// walk over the prefix array — identical on every replay of the same
+  /// kill, which is what keeps checkpointed sweeps byte-stable.
+  std::size_t completed_layers(models::TaskId task, std::size_t sub_accel,
+                               std::size_t level, std::size_t from_layer,
+                               double elapsed_ms) const;
+
  private:
   void check_sub_accel(std::size_t sub_accel) const;
   std::size_t checked_nominal(std::size_t sub_accel) const {
@@ -99,6 +134,19 @@ class CostTable {
   std::vector<ExecutionCost> costs_;
   /// Idle power (W) per [level_offset(sub_accel) + level].
   std::vector<double> idle_power_w_;
+
+  /// Entry index into the layer-prefix arrays. Task blocks are laid out
+  /// back to back (tasks have different layer counts); within a block each
+  /// (sub-accel, level) cell owns a contiguous run of num_layers+1 entries.
+  std::size_t prefix_index(models::TaskId task, std::size_t sub_accel,
+                           std::size_t level, std::size_t layer) const;
+
+  std::vector<std::size_t> task_layers_;  ///< Layers per task.
+  /// Per-task base offset into the prefix arrays.
+  std::vector<std::size_t> prefix_base_;
+  std::vector<double> lat_prefix_;
+  std::vector<double> energy_prefix_;
+  std::vector<double> static_prefix_;
 };
 
 }  // namespace xrbench::runtime

@@ -79,6 +79,13 @@ struct DispatchContext {
   /// lets a policy distinguish "busy, will return" from "down" (e.g. to
   /// re-place work proactively). Indexed by sub-accelerator.
   const std::vector<char>* offline = nullptr;
+  /// Per-fault-domain offline mask (1 = the whole correlated domain is
+  /// down), indexed by fault-domain id; null when the system defines no
+  /// [fault_domain] groups (or no fault plan is active). Lets whole-system
+  /// policies react to correlated outages — e.g. steer work off a power
+  /// rail the moment its sibling units vanish together — without scanning
+  /// the per-unit mask against hw fault_domains themselves.
+  const std::vector<char>* domain_offline = nullptr;
   const CostTable* costs = nullptr;
   /// Runtime telemetry snapshot (see runtime/telemetry.h). Read-only;
   /// null in hand-built test contexts.

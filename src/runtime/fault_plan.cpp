@@ -17,6 +17,11 @@ constexpr std::uint64_t kFaultStreamSalt = 0xFA17FA17FA17FA17ULL;
 /// draw from independent streams.
 constexpr std::uint64_t kOutageStream = 0x0A17ULL;
 constexpr std::uint64_t kThrottleStream = 0x7417ULL;
+/// Domain streams are salted away from the per-unit streams so grouping
+/// units changes only THEIR schedules — every ungrouped unit keeps the
+/// exact windows it had before domains existed.
+constexpr std::uint64_t kDomainOutageStream = 0xD0A17ULL;
+constexpr std::uint64_t kDomainThrottleStream = 0xD7417ULL;
 
 /// Poisson-process windows over [0, horizon_ms): exponential inter-arrival
 /// gaps, fixed duration, never overlapping (the next gap starts after the
@@ -42,13 +47,55 @@ std::vector<FaultWindow> generate_windows(double rate_per_s, double dur_ms,
 }  // namespace
 
 FaultPlan::FaultPlan(const FaultSpec& spec, std::uint64_t seed,
-                     std::size_t num_sub_accels, double duration_ms) {
+                     std::size_t num_sub_accels, double duration_ms,
+                     const std::vector<std::vector<std::size_t>>& fault_domains) {
   validate_fault_spec(spec);
   spec_ = spec;
   fault_seed_ = util::combine_keys(seed, kFaultStreamSalt);
+  num_domains_ = fault_domains.size();
+  domain_of_.assign(num_sub_accels, -1);
+  for (std::size_t d = 0; d < fault_domains.size(); ++d) {
+    for (std::size_t sa : fault_domains[d]) {
+      if (sa >= num_sub_accels) {
+        throw std::invalid_argument(
+            "FaultPlan: fault domain references sub-accelerator " +
+            std::to_string(sa) + " but the system has only " +
+            std::to_string(num_sub_accels));
+      }
+      if (domain_of_[sa] != -1) {
+        throw std::invalid_argument(
+            "FaultPlan: sub-accelerator " + std::to_string(sa) +
+            " appears in more than one fault domain");
+      }
+      domain_of_[sa] = static_cast<int>(d);
+    }
+  }
   outages_.resize(num_sub_accels);
   throttles_.resize(num_sub_accels);
+  // Domain schedules are drawn once per domain; every member shares the
+  // same windows, which is what makes the failure correlated — one thermal
+  // event offlines/clamps the whole group at the same simulated instant.
+  std::vector<std::vector<FaultWindow>> domain_outages(num_domains_);
+  std::vector<std::vector<FaultWindow>> domain_throttles(num_domains_);
+  for (std::size_t d = 0; d < num_domains_; ++d) {
+    domain_outages[d] = generate_windows(
+        spec.outage_rate_per_s, spec.outage_ms,
+        util::combine_keys(fault_seed_,
+                           util::combine_keys(kDomainOutageStream, d)),
+        duration_ms);
+    domain_throttles[d] = generate_windows(
+        spec.throttle_rate_per_s, spec.throttle_ms,
+        util::combine_keys(fault_seed_,
+                           util::combine_keys(kDomainThrottleStream, d)),
+        duration_ms);
+  }
   for (std::size_t sa = 0; sa < num_sub_accels; ++sa) {
+    if (domain_of_[sa] >= 0) {
+      const auto d = static_cast<std::size_t>(domain_of_[sa]);
+      outages_[sa] = domain_outages[d];
+      throttles_[sa] = domain_throttles[d];
+      continue;
+    }
     outages_[sa] = generate_windows(
         spec.outage_rate_per_s, spec.outage_ms,
         util::combine_keys(fault_seed_, util::combine_keys(kOutageStream, sa)),
@@ -75,7 +122,31 @@ void FaultInjector::arm(const FaultPlan* plan, std::size_t num_sub_accels) {
   plan_ = plan;
   active_ = plan != nullptr && plan->enabled();
   offline_.assign(num_sub_accels, 0);
+  const std::size_t domains = plan != nullptr ? plan->num_domains() : 0;
+  domain_offline_.assign(domains, 0);
+  domain_down_count_.assign(domains, 0);
+  domain_size_.assign(domains, 0);
+  if (domains > 0) {
+    for (std::size_t sa = 0; sa < num_sub_accels; ++sa) {
+      const int d = plan_->domain_of(sa);
+      if (d >= 0) ++domain_size_[d];
+    }
+  }
   throttle_cursor_.assign(num_sub_accels, 0);
+}
+
+void FaultInjector::set_offline(std::size_t sub_accel, bool off) {
+  const char bit = off ? 1 : 0;
+  if (offline_[sub_accel] == bit) return;
+  offline_[sub_accel] = bit;
+  if (plan_ == nullptr || domain_offline_.empty()) return;
+  const int d = plan_->domain_of(sub_accel);
+  if (d < 0) return;
+  // All members share one window schedule, so the count reaches the domain
+  // size exactly when the shared outage window opens; any member back up
+  // clears the domain bit.
+  domain_down_count_[d] += off ? 1 : -1;
+  domain_offline_[d] = domain_down_count_[d] == domain_size_[d] ? 1 : 0;
 }
 
 std::optional<std::size_t> FaultInjector::throttle_cap(std::size_t sub_accel,
@@ -147,6 +218,15 @@ FaultSpec parse_fault_section(const util::IniDocument::Section& sec,
       fail("retry_backoff_ms", "retry_backoff_ms must be >= 0");
     }
   }
+  if (sec.has("checkpoint")) {
+    spec.checkpoint = sec.get_bool("checkpoint");
+  }
+  if (sec.has("checkpoint_overhead_ms")) {
+    spec.checkpoint_overhead_ms = sec.get_double("checkpoint_overhead_ms");
+    if (spec.checkpoint_overhead_ms < 0.0) {
+      fail("checkpoint_overhead_ms", "checkpoint_overhead_ms must be >= 0");
+    }
+  }
   return spec;
 }
 
@@ -176,6 +256,13 @@ void write_fault_section(util::IniDocument& doc, const FaultSpec& spec) {
   }
   if (spec.retry_backoff_ms != d.retry_backoff_ms) {
     sec.set("retry_backoff_ms", util::fmt_double_exact(spec.retry_backoff_ms));
+  }
+  if (spec.checkpoint != d.checkpoint) {
+    sec.set("checkpoint", spec.checkpoint ? "true" : "false");
+  }
+  if (spec.checkpoint_overhead_ms != d.checkpoint_overhead_ms) {
+    sec.set("checkpoint_overhead_ms",
+            util::fmt_double_exact(spec.checkpoint_overhead_ms));
   }
 }
 

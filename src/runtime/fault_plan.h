@@ -36,13 +36,25 @@ class FaultPlan {
   FaultPlan() = default;
 
   /// Materializes windows over [0, duration_ms) for each sub-accelerator.
-  /// Throws std::invalid_argument on an invalid spec.
+  /// `fault_domains` groups sub-accelerator indices into correlated fault
+  /// domains: every member of a domain shares ONE outage and ONE throttle
+  /// window schedule drawn from a domain-salted stream (a thermal/power
+  /// event hits the whole group simultaneously), while ungrouped units keep
+  /// their own per-unit streams — so configs without domains produce the
+  /// bit-identical plan they always did. Throws std::invalid_argument on an
+  /// invalid spec or a domain referencing an out-of-range / duplicate unit.
   FaultPlan(const FaultSpec& spec, std::uint64_t seed,
-            std::size_t num_sub_accels, double duration_ms);
+            std::size_t num_sub_accels, double duration_ms,
+            const std::vector<std::vector<std::size_t>>& fault_domains = {});
 
   bool enabled() const { return spec_.enabled(); }
   const FaultSpec& spec() const { return spec_; }
   std::size_t num_sub_accels() const { return outages_.size(); }
+
+  /// Number of correlated fault domains (0 when every unit is independent).
+  std::size_t num_domains() const { return num_domains_; }
+  /// Domain index of `sub_accel`, or -1 for an ungrouped (independent) unit.
+  int domain_of(std::size_t sub_accel) const { return domain_of_[sub_accel]; }
 
   const std::vector<FaultWindow>& outages(std::size_t sub_accel) const {
     return outages_[sub_accel];
@@ -59,6 +71,8 @@ class FaultPlan {
  private:
   FaultSpec spec_;
   std::uint64_t fault_seed_ = 0;
+  std::size_t num_domains_ = 0;
+  std::vector<int> domain_of_;  ///< Per unit; -1 = ungrouped.
   std::vector<std::vector<FaultWindow>> outages_;
   std::vector<std::vector<FaultWindow>> throttles_;
 };
@@ -78,11 +92,20 @@ class FaultInjector {
   bool offline(std::size_t sub_accel) const {
     return offline_[sub_accel] != 0;
   }
-  void set_offline(std::size_t sub_accel, bool off) {
-    offline_[sub_accel] = off ? 1 : 0;
-  }
+  /// Flips a unit's offline bit and maintains the per-domain mask (a
+  /// domain counts as down once all its members are).
+  void set_offline(std::size_t sub_accel, bool off);
   /// Per-unit offline mask (1 = offline), indexable by sub-accelerator.
   const std::vector<char>& offline_mask() const { return offline_; }
+
+  /// Per-domain offline mask (1 = every member of the domain is down).
+  /// Sized plan().num_domains(); empty when no fault domains exist.
+  /// Maintained by set_offline via the plan's domain map — a domain is
+  /// marked down once all members are offline (domain windows are shared,
+  /// so members flip together at the same simulated instant).
+  const std::vector<char>& domain_offline_mask() const {
+    return domain_offline_;
+  }
 
   /// The DVFS level cap active on `sub_accel` at `now_ms`, or nullopt when
   /// no throttle window covers that instant. Uses a monotone cursor:
@@ -95,6 +118,9 @@ class FaultInjector {
   const FaultPlan* plan_ = nullptr;
   bool active_ = false;
   std::vector<char> offline_;
+  std::vector<char> domain_offline_;
+  std::vector<std::int32_t> domain_down_count_;  ///< Offline members per domain.
+  std::vector<std::int32_t> domain_size_;        ///< Members per domain.
   std::vector<std::size_t> throttle_cursor_;
 };
 
@@ -114,6 +140,13 @@ struct ResilienceStats {
   std::int64_t throttle_clamps = 0;   ///< Dispatches whose level was lowered.
   std::int64_t drops_early = 0;       ///< Admission rejections at arrival.
   std::int64_t drops_late = 0;        ///< Stale-input drops + retry give-ups.
+  std::int64_t resumes = 0;           ///< Killed inferences re-dispatched from
+                                      ///< a layer checkpoint (layer > 0).
+  /// Execution time NOT re-run thanks to checkpoints: for each resumed
+  /// dispatch, the latency prefix of its resume layer at the dispatching
+  /// (unit, level) — exactly the completed-layer cost of the first attempt
+  /// when both run at the same operating point.
+  double checkpoint_saved_ms = 0.0;
 
   void merge(const ResilienceStats& other) {
     enabled = enabled || other.enabled;
@@ -125,6 +158,8 @@ struct ResilienceStats {
     throttle_clamps += other.throttle_clamps;
     drops_early += other.drops_early;
     drops_late += other.drops_late;
+    resumes += other.resumes;
+    checkpoint_saved_ms += other.checkpoint_saved_ms;
   }
 };
 

@@ -42,6 +42,18 @@ struct FaultSpec {
   /// Simulated-time backoff before a retry re-enters the pending queue.
   double retry_backoff_ms = 0.0;
 
+  /// Layer-granular checkpoint/resume. When enabled, an inference killed by
+  /// an outage records its last fully-completed layer (derived from the
+  /// partial busy interval walked against the per-layer cost prefix in the
+  /// CostTable); the re-dispatch resumes from that layer, paying only the
+  /// remaining layers' latency/energy plus checkpoint_overhead_ms (restore
+  /// cost: re-load activations/weights for the resume point). Disabled
+  /// (default) keeps the PR-6 whole-model restart path bit-identical.
+  bool checkpoint = false;
+  /// Fixed per-resume restore cost in simulated ms (charged once at each
+  /// resumed dispatch, like a DVFS transition penalty).
+  double checkpoint_overhead_ms = 0.0;
+
   /// True when any fault class can fire. Recovery knobs alone (retries,
   /// backoff) do not enable the plan — with no faults there is nothing to
   /// recover from, and the runner's default path stays untouched.
@@ -58,7 +70,9 @@ struct FaultSpec {
            a.throttle_ms == b.throttle_ms &&
            a.throttle_max_level == b.throttle_max_level &&
            a.max_retries == b.max_retries &&
-           a.retry_backoff_ms == b.retry_backoff_ms;
+           a.retry_backoff_ms == b.retry_backoff_ms &&
+           a.checkpoint == b.checkpoint &&
+           a.checkpoint_overhead_ms == b.checkpoint_overhead_ms;
   }
   friend bool operator!=(const FaultSpec& a, const FaultSpec& b) {
     return !(a == b);
@@ -101,6 +115,10 @@ inline void validate_fault_spec(const FaultSpec& spec) {
   if (spec.retry_backoff_ms < 0.0) {
     throw std::invalid_argument(
         "fault spec: retry_backoff_ms must be >= 0");
+  }
+  if (spec.checkpoint_overhead_ms < 0.0) {
+    throw std::invalid_argument(
+        "fault spec: checkpoint_overhead_ms must be >= 0");
   }
 }
 

@@ -33,7 +33,7 @@ class PolicyRegistry {
 
   /// The process-wide registry, pre-populated with the shipped policies:
   /// schedulers "latency-greedy", "round-robin", "edf", "slack-aware",
-  /// "least-loaded"; governors "fixed-lowest", "fixed-nominal",
+  /// "least-loaded", "fault-aware"; governors "fixed-lowest", "fixed-nominal",
   /// "fixed-highest", "deadline-aware", "race-to-idle", "ondemand",
   /// "utilization-feedback"; admission controllers "admit-all",
   /// "drop-early", "fleet-queue".

@@ -10,14 +10,14 @@ namespace xrbench::runtime {
 namespace {
 
 /// Arena layout: five double columns, one int64, two int32, one TaskId
-/// (int-backed), one byte column — in that order, so every column start is
-/// naturally aligned when the arena itself is max-aligned.
+/// (int-backed), two byte columns — in that order, so every column start
+/// is naturally aligned when the arena itself is max-aligned.
 constexpr std::size_t kDoubleCols = 5;
 
 std::size_t arena_bytes(std::size_t n) {
   return n * (kDoubleCols * sizeof(double) + sizeof(std::int64_t) +
               2 * sizeof(std::int32_t) + sizeof(models::TaskId) +
-              sizeof(std::uint8_t));
+              2 * sizeof(std::uint8_t));
 }
 
 }  // namespace
@@ -42,6 +42,7 @@ void RecordStore::rebase(std::size_t n) {
   place(dvfs_level_, size_);
   place(task_, size_);
   place(dropped_, size_);
+  place(resumed_, size_);
   arena_ = std::move(fresh);
   capacity_ = n;
 }
@@ -60,6 +61,7 @@ RecordStore::RecordStore(const RecordStore& other) {
   std::memcpy(dvfs_level_, other.dvfs_level_, size_ * sizeof(std::int32_t));
   std::memcpy(task_, other.task_, size_ * sizeof(models::TaskId));
   std::memcpy(dropped_, other.dropped_, size_ * sizeof(std::uint8_t));
+  std::memcpy(resumed_, other.resumed_, size_ * sizeof(std::uint8_t));
 }
 
 RecordStore& RecordStore::operator=(const RecordStore& other) {
@@ -83,7 +85,8 @@ RecordStore::RecordStore(RecordStore&& other) noexcept
       sub_accel_(other.sub_accel_),
       dvfs_level_(other.dvfs_level_),
       task_(other.task_),
-      dropped_(other.dropped_) {
+      dropped_(other.dropped_),
+      resumed_(other.resumed_) {
   other.size_ = 0;
   other.capacity_ = 0;
   other.treq_ms_ = other.tdl_ms_ = other.dispatch_ms_ = other.complete_ms_ =
@@ -91,7 +94,7 @@ RecordStore::RecordStore(RecordStore&& other) noexcept
   other.frame_ = nullptr;
   other.sub_accel_ = other.dvfs_level_ = nullptr;
   other.task_ = nullptr;
-  other.dropped_ = nullptr;
+  other.dropped_ = other.resumed_ = nullptr;
 }
 
 RecordStore& RecordStore::operator=(RecordStore&& other) noexcept {
@@ -109,6 +112,7 @@ RecordStore& RecordStore::operator=(RecordStore&& other) noexcept {
     dvfs_level_ = other.dvfs_level_;
     task_ = other.task_;
     dropped_ = other.dropped_;
+    resumed_ = other.resumed_;
     other.size_ = 0;
     other.capacity_ = 0;
     other.treq_ms_ = other.tdl_ms_ = other.dispatch_ms_ =
@@ -116,7 +120,7 @@ RecordStore& RecordStore::operator=(RecordStore&& other) noexcept {
     other.frame_ = nullptr;
     other.sub_accel_ = other.dvfs_level_ = nullptr;
     other.task_ = nullptr;
-    other.dropped_ = nullptr;
+    other.dropped_ = other.resumed_ = nullptr;
   }
   return *this;
 }
@@ -139,12 +143,14 @@ void RecordStore::append_dropped(models::TaskId task, std::int64_t frame,
   sub_accel_[i] = -1;
   dvfs_level_[i] = -1;
   dropped_[i] = 1;
+  resumed_[i] = 0;
 }
 
 void RecordStore::append_executed(models::TaskId task, std::int64_t frame,
                                   double treq_ms, double tdl_ms, int sub_accel,
                                   int dvfs_level, double dispatch_ms,
-                                  double complete_ms, double energy_mj) {
+                                  double complete_ms, double energy_mj,
+                                  bool resumed) {
   ensure_capacity();
   const std::size_t i = size_++;
   task_[i] = task;
@@ -157,6 +163,7 @@ void RecordStore::append_executed(models::TaskId task, std::int64_t frame,
   sub_accel_[i] = static_cast<std::int32_t>(sub_accel);
   dvfs_level_[i] = static_cast<std::int32_t>(dvfs_level);
   dropped_[i] = 0;
+  resumed_[i] = resumed ? 1 : 0;
 }
 
 void RecordStore::push_back(const InferenceRecord& rec) {
@@ -170,10 +177,11 @@ void RecordStore::push_back(const InferenceRecord& rec) {
     energy_mj_[i] = rec.energy_mj;
     sub_accel_[i] = rec.sub_accel;
     dvfs_level_[i] = rec.dvfs_level;
+    resumed_[i] = rec.resumed ? 1 : 0;
   } else {
     append_executed(rec.task, rec.frame, rec.treq_ms, rec.tdl_ms,
                     rec.sub_accel, rec.dvfs_level, rec.dispatch_ms,
-                    rec.complete_ms, rec.energy_mj);
+                    rec.complete_ms, rec.energy_mj, rec.resumed);
   }
 }
 
@@ -197,6 +205,7 @@ void RecordStore::append_shifted(const RecordStore& other, double shift_ms) {
     sub_accel_[j] = other.sub_accel_[i];
     dvfs_level_[j] = other.dvfs_level_[i];
     dropped_[j] = other.dropped_[i];
+    resumed_[j] = other.resumed_[i];
   }
 }
 
@@ -207,6 +216,7 @@ InferenceRecord RecordStore::operator[](std::size_t i) const {
   rec.treq_ms = treq_ms_[i];
   rec.tdl_ms = tdl_ms_[i];
   rec.dropped = dropped_[i] != 0;
+  rec.resumed = resumed_[i] != 0;
   rec.sub_accel = sub_accel_[i];
   rec.dvfs_level = dvfs_level_[i];
   rec.dispatch_ms = dispatch_ms_[i];
@@ -249,6 +259,7 @@ void RecordStore::sort_canonical() {
     std::swap(sub_accel_[a], sub_accel_[b]);
     std::swap(dvfs_level_[a], dvfs_level_[b]);
     std::swap(dropped_[a], dropped_[b]);
+    std::swap(resumed_[a], resumed_[b]);
   };
   for (std::size_t i = 0; i < n; ++i) {
     if (order[i] == i) continue;

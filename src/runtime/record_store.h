@@ -16,10 +16,10 @@ namespace xrbench::runtime {
 /// column, so the scorer streams exactly the doubles it needs and the
 /// branch column (dropped) is one byte per record.
 ///
-/// All ten columns live in ONE heap arena (column pointers carved out of a
-/// single allocation): a trial's per-model setup costs one malloc, not ten
-/// — sub-millisecond sweep trials run thousands of these stores per second
-/// and the allocator round-trips were measurable.
+/// All eleven columns live in ONE heap arena (column pointers carved out
+/// of a single allocation): a trial's per-model setup costs one malloc,
+/// not eleven — sub-millisecond sweep trials run thousands of these stores
+/// per second and the allocator round-trips were measurable.
 ///
 /// Compatibility: `operator[]`/`view()` materialize AoS `InferenceRecord`s
 /// and the proxy iterator keeps range-for working, so record consumers that
@@ -44,11 +44,12 @@ class RecordStore {
   void append_dropped(models::TaskId task, std::int64_t frame, double treq_ms,
                       double tdl_ms);
 
-  /// Appends an executed record.
+  /// Appends an executed record. `resumed` tags checkpoint-resumed work
+  /// (fault-free runs always pass false).
   void append_executed(models::TaskId task, std::int64_t frame, double treq_ms,
                        double tdl_ms, int sub_accel, int dvfs_level,
                        double dispatch_ms, double complete_ms,
-                       double energy_mj);
+                       double energy_mj, bool resumed = false);
 
   /// AoS-compatible append (tests and synthetic-run builders).
   void push_back(const InferenceRecord& rec);
@@ -77,6 +78,7 @@ class RecordStore {
   const std::int32_t* sub_accel() const { return sub_accel_; }
   const std::int32_t* dvfs_level() const { return dvfs_level_; }
   const std::uint8_t* dropped() const { return dropped_; }
+  const std::uint8_t* resumed() const { return resumed_; }
 
   /// Per-record derived quantities, mirroring InferenceRecord's helpers.
   double latency_ms(std::size_t i) const {
@@ -140,6 +142,7 @@ class RecordStore {
   std::int32_t* dvfs_level_ = nullptr;
   models::TaskId* task_ = nullptr;
   std::uint8_t* dropped_ = nullptr;
+  std::uint8_t* resumed_ = nullptr;
 };
 
 }  // namespace xrbench::runtime

@@ -23,6 +23,12 @@ struct InferenceRequest {
   /// failover.
   std::int32_t attempt = 0;
   std::int32_t killed_on = -1;
+  /// Layer-granular checkpoint cursor: number of layers already completed
+  /// by a killed earlier attempt (0 = start from scratch). Only ever
+  /// non-zero when the fault spec enables checkpointing; a re-dispatch
+  /// starts at this layer, paying the remaining layers' cost plus the
+  /// checkpoint restore overhead.
+  std::int32_t resume_layer = 0;
 
   /// Inference slack (Definition 9): Tsl = Tdl - Treq.
   double slack_ms() const { return tdl_ms - treq_ms; }
@@ -40,6 +46,9 @@ struct InferenceRecord {
   double dispatch_ms = 0.0;   ///< Execution start time.
   double complete_ms = 0.0;   ///< Execution end time.
   double energy_mj = 0.0;
+  /// True when this inference resumed from a layer checkpoint (an earlier
+  /// attempt was killed mid-model and the completed prefix was not re-run).
+  bool resumed = false;
 
   double slack_ms() const { return tdl_ms - treq_ms; }
 

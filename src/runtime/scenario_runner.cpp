@@ -135,6 +135,11 @@ struct RunScratch::Impl {
   std::vector<InferenceRequest> inflight_req;
   std::vector<std::size_t> inflight_level;
   std::vector<double> inflight_start;
+  /// Non-execution share of the in-flight latency (DVFS transition penalty
+  /// + checkpoint restore overhead), charged before layer 0 runs. The
+  /// outage-kill path subtracts it from the busy interval before walking
+  /// the layer prefixes, so overhead time never counts as completed layers.
+  std::vector<double> inflight_extra_ms;
   /// Best-case latency per model slot over every (unit, level): the retry
   /// feasibility bound (give up when even this cannot meet the deadline).
   std::vector<double> best_latency;
@@ -182,13 +187,15 @@ struct RunScratch::Impl {
         config.faults.enabled() ? config.faults : sys.faults;
     validate_fault_spec(fspec);
     fault_plan = fspec.enabled()
-                     ? FaultPlan(fspec, config.seed, n, config.duration_ms)
+                     ? FaultPlan(fspec, config.seed, n, config.duration_ms,
+                                 sys.fault_domains)
                      : FaultPlan{};
     injector.arm(&fault_plan, n);
     inflight_event.assign(n, 0);
     inflight_req.assign(n, InferenceRequest{});
     inflight_level.assign(n, 0);
     inflight_start.assign(n, 0.0);
+    inflight_extra_ms.assign(n, 0.0);
     best_latency.clear();
     if (timeline.capacity() == 0) timeline = take_timeline();
     timeline.clear();
@@ -269,6 +276,10 @@ struct RunScratch::Impl {
       actx.now_ms = sim.now();
       actx.request = &req;
       actx.offline = injector.active() ? &injector.offline_mask() : nullptr;
+      actx.domain_offline =
+          injector.active() && !injector.domain_offline_mask().empty()
+              ? &injector.domain_offline_mask()
+              : nullptr;
       actx.costs = costs;
       actx.telemetry = &telemetry;
       actx.system = system;
@@ -311,6 +322,14 @@ struct RunScratch::Impl {
     telemetry.on_park(sa, park);
   }
 
+  /// True when `req` is executing from a layer checkpoint: an earlier
+  /// attempt was killed mid-model and checkpointing is on, so this dispatch
+  /// pays (and this attempt burns) only the remaining layers' cost.
+  bool is_resumed(const InferenceRequest& req) const {
+    return req.resume_layer > 0 && injector.active() &&
+           fault_plan.spec().checkpoint;
+  }
+
   void on_complete(const InferenceRequest& req, std::size_t sa,
                    std::size_t level, double start_ms) {
     const double now = sim.now();
@@ -320,20 +339,28 @@ struct RunScratch::Impl {
     const std::size_t sl = slot(req.task);
     auto& ms = stats[sl];
     const ExecutionCost& cost = costs->cost(req.task, sa, level);
-    const double energy_mj = cost.energy_mj + baseline_mj[sl];
+    double accel_mj = cost.energy_mj;
+    double static_mj = cost.static_energy_mj;
+    const bool resumed = is_resumed(req);
+    if (resumed) {
+      // Only the layers actually re-run are charged; the completed prefix
+      // was paid (pro-rated) when the earlier attempt was killed.
+      const auto from = static_cast<std::size_t>(req.resume_layer);
+      accel_mj -= costs->layer_energy_prefix_mj(req.task, sa, level, from);
+      static_mj -= costs->layer_static_prefix_mj(req.task, sa, level, from);
+    }
+    const double energy_mj = accel_mj + baseline_mj[sl];
     total_energy_mj += energy_mj;
     ++ms.frames_executed;
     if (now > req.tdl_ms) ++ms.deadline_misses;
     ms.records.append_executed(req.task, req.frame, req.treq_ms, req.tdl_ms,
                                static_cast<int>(sa), static_cast<int>(level),
-                               start_ms, now, energy_mj);
+                               start_ms, now, energy_mj, resumed);
     timeline.push_back(
         BusyInterval{static_cast<int>(sa), req.task, req.frame, start_ms, now});
     // Accelerator energy split (the device baseline is system-level, not a
     // sub-accelerator term, so it stays out of the breakdown).
-    telemetry.on_retire(sa, req, level, now,
-                        cost.energy_mj - cost.static_energy_mj,
-                        cost.static_energy_mj);
+    telemetry.on_retire(sa, req, level, now, accel_mj - static_mj, static_mj);
     // Park the sub-accelerator for the coming idle window. The default
     // holds the executed level (the PMU keeps its operating point);
     // race-to-idle drops to the cheapest one.
@@ -372,13 +399,20 @@ struct RunScratch::Impl {
     accel_busy[sa] = 0;
     accel_busy_ms[sa] += now - start_ms;
     const ExecutionCost& cost = costs->cost(req.task, sa, level);
-    // Full accelerator burn; no system-baseline share — the device baseline
-    // is amortized per PRODUCED frame (on_complete), not per attempt.
-    total_energy_mj += cost.energy_mj;
+    // Full accelerator burn of this attempt (a resumed attempt only ran the
+    // remaining layers); no system-baseline share — the device baseline is
+    // amortized per PRODUCED frame (on_complete), not per attempt.
+    double burn_mj = cost.energy_mj;
+    double burn_static_mj = cost.static_energy_mj;
+    if (is_resumed(req)) {
+      const auto from = static_cast<std::size_t>(req.resume_layer);
+      burn_mj -= costs->layer_energy_prefix_mj(req.task, sa, level, from);
+      burn_static_mj -= costs->layer_static_prefix_mj(req.task, sa, level, from);
+    }
+    total_energy_mj += burn_mj;
     timeline.push_back(
         BusyInterval{static_cast<int>(sa), req.task, req.frame, start_ms, now});
-    telemetry.on_abort(sa, now, cost.energy_mj - cost.static_energy_mj,
-                       cost.static_energy_mj);
+    telemetry.on_abort(sa, now, burn_mj - burn_static_mj, burn_static_mj);
     ++resilience.transient_faults;
     park_after(req, sa, level, now);
 
@@ -421,25 +455,53 @@ struct RunScratch::Impl {
       accel_busy[sa] = 0;
       accel_busy_ms[sa] += now - start;
       const ExecutionCost& cost = costs->cost(req.task, sa, level);
-      // Pro-rate by elapsed fraction of the execution latency (the
-      // scheduled completion may additionally carry a DVFS transition
-      // penalty, so clamp to [0, 1]).
-      double frac =
-          cost.latency_ms > 0.0 ? (now - start) / cost.latency_ms : 1.0;
-      frac = std::min(1.0, std::max(0.0, frac));
-      total_energy_mj += frac * cost.energy_mj;
+      InferenceRequest requeued = req;
+      if (fault_plan.spec().checkpoint) {
+        // Layer-granular kill accounting: subtract the non-execution share
+        // (transition penalty + restore overhead) from the busy interval,
+        // walk the per-layer latency prefix to find the last layer that
+        // fully finished, and record it as the re-dispatch's resume point.
+        // Energy pro-rates over THIS attempt's remaining-layer cost.
+        const auto from = static_cast<std::size_t>(req.resume_layer);
+        const double exec_elapsed =
+            std::max(0.0, (now - start) - inflight_extra_ms[sa]);
+        const std::size_t done =
+            costs->completed_layers(req.task, sa, level, from, exec_elapsed);
+        const double attempt_lat =
+            cost.latency_ms -
+            costs->layer_latency_prefix_ms(req.task, sa, level, from);
+        const double attempt_mj =
+            cost.energy_mj -
+            costs->layer_energy_prefix_mj(req.task, sa, level, from);
+        const double attempt_static_mj =
+            cost.static_energy_mj -
+            costs->layer_static_prefix_mj(req.task, sa, level, from);
+        double frac = attempt_lat > 0.0 ? exec_elapsed / attempt_lat : 1.0;
+        frac = std::min(1.0, std::max(0.0, frac));
+        total_energy_mj += frac * attempt_mj;
+        telemetry.on_abort(sa, now, frac * (attempt_mj - attempt_static_mj),
+                           frac * attempt_static_mj);
+        requeued.resume_layer = static_cast<std::int32_t>(done);
+      } else {
+        // Pro-rate by elapsed fraction of the execution latency (the
+        // scheduled completion may additionally carry a DVFS transition
+        // penalty, so clamp to [0, 1]).
+        double frac =
+            cost.latency_ms > 0.0 ? (now - start) / cost.latency_ms : 1.0;
+        frac = std::min(1.0, std::max(0.0, frac));
+        total_energy_mj += frac * cost.energy_mj;
+        telemetry.on_abort(sa, now,
+                           frac * (cost.energy_mj - cost.static_energy_mj),
+                           frac * cost.static_energy_mj);
+      }
       if (now > start) {
         timeline.push_back(BusyInterval{static_cast<int>(sa), req.task,
                                         req.frame, start, now});
       }
-      telemetry.on_abort(sa, now,
-                         frac * (cost.energy_mj - cost.static_energy_mj),
-                         frac * cost.static_energy_mj);
       ++resilience.outage_kills;
       // The dead unit sits at its parked level; idle accounting restarts
       // at the kill instant (the busy window above consumed [start, now)).
       idle_since_ms[sa] = now;
-      InferenceRequest requeued = req;
       requeued.killed_on = static_cast<std::int32_t>(sa);
       pending.push_back(requeued);
       try_dispatch();  // a healthy idle unit may take the work right now
@@ -470,6 +532,9 @@ struct RunScratch::Impl {
       ctx.pending = &pending;
       ctx.idle_sub_accels = &idle;
       ctx.offline = faulted ? &injector.offline_mask() : nullptr;
+      ctx.domain_offline = faulted && !injector.domain_offline_mask().empty()
+                               ? &injector.domain_offline_mask()
+                               : nullptr;
       ctx.costs = costs;
       ctx.telemetry = &telemetry;
       ctx.system = system;
@@ -494,6 +559,7 @@ struct RunScratch::Impl {
         gctx.request = &req;
         gctx.sub_accel = sa;
         gctx.offline = ctx.offline;
+        gctx.domain_offline = ctx.domain_offline;
         gctx.costs = costs;
         gctx.telemetry = &telemetry;
         gctx.system = system;
@@ -521,12 +587,27 @@ struct RunScratch::Impl {
       charge_idle(sa, start);
       telemetry.on_dispatch(sa, req, level, start, pending.size());
       double latency = costs->latency_ms(req.task, sa, level);
+      double extra = 0.0;  ///< Non-execution share (overheads before layer 0).
+      if (is_resumed(req)) {
+        // Resume from the checkpoint: pay only the remaining layers plus
+        // the restore overhead. The latency prefix at THIS (unit, level) is
+        // the execution time the checkpoint saved here.
+        const auto from = static_cast<std::size_t>(req.resume_layer);
+        const double saved =
+            costs->layer_latency_prefix_ms(req.task, sa, level, from);
+        latency -= saved;
+        latency += fault_plan.spec().checkpoint_overhead_ms;
+        extra += fault_plan.spec().checkpoint_overhead_ms;
+        ++resilience.resumes;
+        resilience.checkpoint_saved_ms += saved;
+      }
       // Consecutive dispatches at different levels pay the PMU's switch
       // cost before executing (PLL relock / voltage settle). The default
       // penalty of 0 adds nothing, keeping penalty-free runs bit-identical.
       if (transition_ms[sa] > 0.0 && last_level[sa] >= 0 &&
           last_level[sa] != static_cast<int>(level)) {
         latency += transition_ms[sa];
+        extra += transition_ms[sa];
       }
       last_level[sa] = static_cast<int>(level);
       Impl* self = this;
@@ -559,6 +640,7 @@ struct RunScratch::Impl {
         inflight_req[sa] = creq;
         inflight_level[sa] = level;
         inflight_start[sa] = start;
+        inflight_extra_ms[sa] = extra;
       } else {
         sim.schedule_after(latency, [self, req, sa, level, start] {
           self->on_complete(req, sa, level, start);

@@ -1,5 +1,7 @@
 #include "runtime/scheduler.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace xrbench::runtime {
@@ -154,6 +156,79 @@ std::optional<Assignment> LeastLoadedScheduler::pick(
   return Assignment{ri, best};
 }
 
+std::optional<Assignment> FaultAwareScheduler::pick(
+    const DispatchContext& ctx) {
+  if (!context_ready(ctx)) return std::nullopt;
+  const auto& pending = *ctx.pending;
+  const std::size_t ri = earliest_deadline(pending);
+  const models::TaskId task = pending[ri].task;
+  if (ctx.telemetry == nullptr) {
+    return Assignment{ri, best_idle_for(ctx, task)};  // EDF degradation
+  }
+  // Abort counts saturate (a unit with many kills is bad, twice as many is
+  // not twice as bad) and recency decays exponentially over ~a fault
+  // window's timescale. last_abort_ms starts at -inf, so exp() yields an
+  // exact 0.0 for never-aborted units — cold telemetry scores 0 risk and
+  // the latency tie-break decides, matching least-loaded's cold behavior.
+  constexpr double kAbortSaturation = 4.0;
+  constexpr double kRecencyTauMs = 50.0;
+  constexpr double kDomainWeight = 0.5;
+  const Telemetry& tm = *ctx.telemetry;
+  auto unit_risk = [&](std::size_t sa) {
+    if (sa >= tm.num_sub_accels()) return 0.0;
+    const auto& sub = tm.sub_accel(sa);
+    const double count_term =
+        static_cast<double>(sub.aborts) /
+        (static_cast<double>(sub.aborts) + kAbortSaturation);
+    const double recency =
+        std::exp(-(ctx.now_ms - sub.last_abort_ms) / kRecencyTauMs);
+    return count_term + recency;
+  };
+  auto domain_of = [&](std::size_t sa) -> int {
+    if (ctx.system == nullptr) return -1;
+    const auto& domains = ctx.system->fault_domains;
+    for (std::size_t d = 0; d < domains.size(); ++d) {
+      for (std::size_t member : domains[d]) {
+        if (member == sa) return static_cast<int>(d);
+      }
+    }
+    return -1;
+  };
+  auto score = [&](std::size_t sa) {
+    double s = tm.util_ewma(sa) + unit_risk(sa);
+    const int d = domain_of(sa);
+    if (d >= 0) {
+      // Correlated-domain term: the worst sibling's risk, plus a flat
+      // penalty while any sibling is down — its fault window may be the
+      // domain's.
+      double sibling_risk = 0.0;
+      for (std::size_t member : ctx.system->fault_domains[d]) {
+        if (member == sa) continue;
+        sibling_risk = std::max(sibling_risk, unit_risk(member));
+        if (ctx.offline != nullptr && member < ctx.offline->size() &&
+            (*ctx.offline)[member] != 0) {
+          sibling_risk = std::max(sibling_risk, 2.0);
+        }
+      }
+      s += kDomainWeight * sibling_risk;
+    }
+    return s;
+  };
+  const auto& idle = *ctx.idle_sub_accels;
+  std::size_t best = idle.front();
+  double best_score = score(best);
+  for (std::size_t sa : idle) {
+    const double cand = score(sa);
+    if (cand < best_score ||
+        (cand == best_score &&
+         ctx.costs->latency_ms(task, sa) < ctx.costs->latency_ms(task, best))) {
+      best = sa;
+      best_score = cand;
+    }
+  }
+  return Assignment{ri, best};
+}
+
 const char* scheduler_kind_name(SchedulerKind kind) {
   switch (kind) {
     case SchedulerKind::kLatencyGreedy: return "latency-greedy";
@@ -161,6 +236,7 @@ const char* scheduler_kind_name(SchedulerKind kind) {
     case SchedulerKind::kEdf: return "edf";
     case SchedulerKind::kSlackAware: return "slack-aware";
     case SchedulerKind::kLeastLoaded: return "least-loaded";
+    case SchedulerKind::kFaultAware: return "fault-aware";
   }
   return "?";
 }
@@ -177,6 +253,8 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
       return std::make_unique<SlackAwareScheduler>();
     case SchedulerKind::kLeastLoaded:
       return std::make_unique<LeastLoadedScheduler>();
+    case SchedulerKind::kFaultAware:
+      return std::make_unique<FaultAwareScheduler>();
   }
   return nullptr;
 }
@@ -185,7 +263,7 @@ const std::vector<SchedulerKind>& all_scheduler_kinds() {
   static const std::vector<SchedulerKind> kinds = {
       SchedulerKind::kLatencyGreedy, SchedulerKind::kRoundRobin,
       SchedulerKind::kEdf, SchedulerKind::kSlackAware,
-      SchedulerKind::kLeastLoaded};
+      SchedulerKind::kLeastLoaded, SchedulerKind::kFaultAware};
   return kinds;
 }
 

@@ -101,12 +101,32 @@ class LeastLoadedScheduler final : public Scheduler {
   std::optional<Assignment> pick(const DispatchContext& ctx) override;
 };
 
+/// Fault-aware policy (extension, telemetry-driven): picks the request by
+/// the canonical earliest-deadline order, then places it on the idle
+/// sub-accelerator with the lowest fault-risk score — a sum of the
+/// utilization EWMA (throttled units run slow and hot), a saturating
+/// per-unit abort count, an exponentially-decaying abort-recency term (a
+/// unit that killed work moments ago is likelier to still sit in a fault
+/// window), and the same risk terms over the unit's correlated fault-domain
+/// siblings (one member's kill history indicts the whole power/thermal
+/// group; membership from ctx.system->fault_domains, live outages from
+/// ctx.offline/ctx.domain_offline). Exact score ties fall back to the
+/// faster sub-accelerator for the task, then the lower index. Every input
+/// is a pure function of the context, so placements are permutation- and
+/// worker-count-invariant; without telemetry it degrades to plain EDF.
+class FaultAwareScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "fault-aware"; }
+  std::optional<Assignment> pick(const DispatchContext& ctx) override;
+};
+
 enum class SchedulerKind {
   kLatencyGreedy,
   kRoundRobin,
   kEdf,
   kSlackAware,
   kLeastLoaded,
+  kFaultAware,
 };
 
 const char* scheduler_kind_name(SchedulerKind kind);

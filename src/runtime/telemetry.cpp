@@ -110,6 +110,7 @@ void Telemetry::on_abort(std::size_t sa, double now_ms, double dynamic_mj,
   advance(sub, now_ms);
   sub.busy = false;
   ++sub.aborts;
+  sub.last_abort_ms = now_ms;
   sub.dynamic_mj += dynamic_mj;
   sub.static_mj += static_mj;
   // No retire, no task latency sample: a burned or killed attempt says
@@ -141,6 +142,9 @@ void Telemetry::merge_from(const Telemetry& phase, double phase_start_ms) {
     sub.dispatches += p.dispatches;
     sub.retires += p.retires;
     sub.aborts += p.aborts;
+    if (p.aborts > 0) {
+      sub.last_abort_ms = p.last_abort_ms + phase_start_ms;
+    }
     sub.dynamic_mj += p.dynamic_mj;
     sub.static_mj += p.static_mj;
     sub.idle_mj += p.idle_mj;

@@ -40,6 +40,11 @@ struct SubAccelTelemetry {
   /// Dispatches that ended without retiring a frame: transient-fault burns
   /// and outage kills (fault injection only; 0 on fault-free runs).
   std::int64_t aborts = 0;
+  /// Simulated clock of the most recent abort (-inf before the first one) —
+  /// the kill-recency signal behind fault-aware placement: a unit that just
+  /// killed work is likelier to sit in (or near) an active fault window
+  /// than one whose aborts are stale history.
+  double last_abort_ms = -std::numeric_limits<double>::infinity();
   int last_level = -1;  ///< Level of the most recent dispatch (-1: none yet).
   int park_level = -1;  ///< Level the sub-accel idles at (-1: nominal).
   /// Accelerator energy split. dynamic+static sum over executed inferences'

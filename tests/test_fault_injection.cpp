@@ -105,6 +105,80 @@ TEST(FaultPlan, EmptySpecIsDisabled) {
   EXPECT_FALSE(injector.active());
 }
 
+// ---- Correlated fault domains ---------------------------------------------
+
+TEST(FaultDomain, MembersShareOneWindowSchedule) {
+  const auto spec = sample_spec();
+  const FaultPlan plan(spec, 42, 4, 5000.0, {{0, 1}});
+  EXPECT_EQ(plan.num_domains(), 1u);
+  EXPECT_EQ(plan.domain_of(0), 0);
+  EXPECT_EQ(plan.domain_of(1), 0);
+  EXPECT_EQ(plan.domain_of(2), -1);
+  EXPECT_EQ(plan.domain_of(3), -1);
+  ASSERT_EQ(plan.outages(0).size(), plan.outages(1).size());
+  for (std::size_t i = 0; i < plan.outages(0).size(); ++i) {
+    EXPECT_EQ(plan.outages(0)[i].start_ms, plan.outages(1)[i].start_ms);
+    EXPECT_EQ(plan.outages(0)[i].end_ms, plan.outages(1)[i].end_ms);
+  }
+  ASSERT_EQ(plan.throttles(0).size(), plan.throttles(1).size());
+  for (std::size_t i = 0; i < plan.throttles(0).size(); ++i) {
+    EXPECT_EQ(plan.throttles(0)[i].start_ms, plan.throttles(1)[i].start_ms);
+    EXPECT_EQ(plan.throttles(0)[i].end_ms, plan.throttles(1)[i].end_ms);
+  }
+}
+
+TEST(FaultDomain, UngroupedUnitsKeepTheirPerUnitStreams) {
+  // Grouping units 0 and 1 must not perturb the schedules of the ungrouped
+  // units — bit-identity for every config that predates fault domains.
+  const auto spec = sample_spec();
+  const FaultPlan grouped(spec, 42, 4, 5000.0, {{0, 1}});
+  const FaultPlan plain(spec, 42, 4, 5000.0);
+  for (std::size_t sa = 2; sa < 4; ++sa) {
+    ASSERT_EQ(grouped.outages(sa).size(), plain.outages(sa).size());
+    for (std::size_t i = 0; i < plain.outages(sa).size(); ++i) {
+      EXPECT_EQ(grouped.outages(sa)[i].start_ms, plain.outages(sa)[i].start_ms);
+      EXPECT_EQ(grouped.outages(sa)[i].end_ms, plain.outages(sa)[i].end_ms);
+    }
+    ASSERT_EQ(grouped.throttles(sa).size(), plain.throttles(sa).size());
+    for (std::size_t i = 0; i < plain.throttles(sa).size(); ++i) {
+      EXPECT_EQ(grouped.throttles(sa)[i].start_ms,
+                plain.throttles(sa)[i].start_ms);
+      EXPECT_EQ(grouped.throttles(sa)[i].end_ms, plain.throttles(sa)[i].end_ms);
+    }
+  }
+  // An empty domain list is exactly the no-domain plan.
+  EXPECT_EQ(plain.num_domains(), 0u);
+}
+
+TEST(FaultDomain, RejectsOutOfRangeAndDuplicateMembers) {
+  const auto spec = sample_spec();
+  EXPECT_THROW(FaultPlan(spec, 42, 2, 1000.0, {{0, 5}}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan(spec, 42, 4, 1000.0, {{1, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan(spec, 42, 4, 1000.0, {{0, 1}, {1, 2}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(FaultPlan(spec, 42, 4, 1000.0, {{0, 1}, {2, 3}}));
+}
+
+TEST(FaultDomain, InjectorMaintainsDomainOfflineMask) {
+  const auto spec = sample_spec();
+  const FaultPlan plan(spec, 42, 4, 1000.0, {{0, 1}});
+  FaultInjector injector;
+  injector.arm(&plan, 4);
+  ASSERT_EQ(injector.domain_offline_mask().size(), 1u);
+  EXPECT_EQ(injector.domain_offline_mask()[0], 0);
+  injector.set_offline(0, true);
+  EXPECT_EQ(injector.domain_offline_mask()[0], 0);  // one of two members
+  injector.set_offline(1, true);
+  EXPECT_EQ(injector.domain_offline_mask()[0], 1);  // whole domain down
+  injector.set_offline(0, false);
+  EXPECT_EQ(injector.domain_offline_mask()[0], 0);
+  // Ungrouped units never touch the domain mask.
+  injector.set_offline(3, true);
+  EXPECT_EQ(injector.domain_offline_mask()[0], 0);
+}
+
 TEST(FaultSpecValidation, RejectsOutOfRangeFields) {
   FaultSpec f;
   f.transient_rate = 1.5;
@@ -167,6 +241,58 @@ TEST(FaultConfig, MalformedSectionRejectedWithLineNumber) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
     EXPECT_NE(msg.find("transient_rate"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultDomainConfig, HwConfigRoundTrip) {
+  auto system = hw::make_accelerator('M', 4096);
+  system.fault_domains = {{0, 1}, {2, 3}};
+  const auto text = hw::to_config_text(system);
+  EXPECT_NE(text.find("[fault_domain]"), std::string::npos);
+  const auto parsed = hw::from_config_text(text);
+  EXPECT_EQ(parsed.fault_domains, system.fault_domains);
+}
+
+TEST(FaultDomainConfig, NoDomainsWritesNoSection) {
+  const auto text = hw::to_config_text(hw::make_accelerator('M', 4096));
+  EXPECT_EQ(text.find("[fault_domain]"), std::string::npos);
+}
+
+constexpr const char* kDomainConfigPrefix =
+    "[chip]\n"
+    "id = X\n"
+    "clock_ghz = 1.0\n"
+    "[sub_accel]\n"
+    "dataflow = WS\n"
+    "num_pes = 1024\n"
+    "noc_gbps = 64\n"
+    "offchip_gbps = 8\n"
+    "sram_kib = 2048\n"
+    "[fault_domain]\n";  // members key lands on line 11
+
+TEST(FaultDomainConfig, UnknownIndexRejectedWithLineNumber) {
+  const std::string text = std::string(kDomainConfigPrefix) +
+                           "members = 0, 7\n";
+  try {
+    hw::from_config_text(text);
+    FAIL() << "out-of-range fault_domain member accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 11"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("member 7"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultDomainConfig, DuplicateMemberRejectedWithLineNumber) {
+  const std::string text = std::string(kDomainConfigPrefix) +
+                           "members = 0, 0\n";
+  try {
+    hw::from_config_text(text);
+    FAIL() << "duplicate fault_domain member accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 11"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("already belongs"), std::string::npos) << msg;
   }
 }
 
@@ -244,6 +370,7 @@ void expect_identical(const ScenarioRunResult& a, const ScenarioRunResult& b) {
       EXPECT_EQ(ra.dispatch_ms, rb.dispatch_ms);
       EXPECT_EQ(ra.complete_ms, rb.complete_ms);
       EXPECT_EQ(ra.energy_mj, rb.energy_mj);
+      EXPECT_EQ(ra.resumed, rb.resumed);
     }
   }
   EXPECT_EQ(a.resilience.enabled, b.resilience.enabled);
@@ -255,6 +382,8 @@ void expect_identical(const ScenarioRunResult& a, const ScenarioRunResult& b) {
   EXPECT_EQ(a.resilience.throttle_clamps, b.resilience.throttle_clamps);
   EXPECT_EQ(a.resilience.drops_early, b.resilience.drops_early);
   EXPECT_EQ(a.resilience.drops_late, b.resilience.drops_late);
+  EXPECT_EQ(a.resilience.resumes, b.resilience.resumes);
+  EXPECT_EQ(a.resilience.checkpoint_saved_ms, b.resilience.checkpoint_saved_ms);
 }
 
 class FaultRunnerTest : public ::testing::Test {
