@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "costmodel/cost_model.h"
+#include "hw/dvfs.h"
 #include "models/zoo.h"
 #include "util/bench_json.h"
 #include "util/csv.h"
@@ -71,6 +73,68 @@ int main() {
   std::cout << "=== Per-model cost breakdown on a 4K-PE array ===\n\n";
   summary.print(std::cout);
   std::cout << "\nPer-layer CSV written to bench_output/costmodel_layers.csv\n";
+
+  // --- All-levels contrast: per-level walk vs the level-batched kernel. ---
+  // Fresh cost models on both sides so each timing is a true cold
+  // evaluation (no layer- or model-memo hits), over the whole zoo with the
+  // default five-point DVFS ladder attached.
+  const auto ladder = hw::default_dvfs_state(1.0);
+  costmodel::SubAccelConfig dvfs_accel;
+  dvfs_accel.id = "probe-dvfs";
+  dvfs_accel.dataflow = costmodel::Dataflow::kWS;
+  dvfs_accel.num_pes = 4096;
+  dvfs_accel.dvfs = ladder;
+
+  costmodel::AnalyticalCostModel per_level_cm;
+  const double t_per_level = bench.elapsed_ms();
+  std::vector<std::vector<costmodel::ModelCost>> per_level_results;
+  for (models::TaskId t : models::all_tasks()) {
+    const auto& graph = models::model_graph(t);
+    std::vector<costmodel::ModelCost> levels;
+    for (std::size_t lvl = 0; lvl < ladder.num_levels(); ++lvl) {
+      levels.push_back(per_level_cm.model_cost_at(graph, dvfs_accel, lvl));
+    }
+    per_level_results.push_back(std::move(levels));
+  }
+  const double per_level_ms = bench.elapsed_ms() - t_per_level;
+
+  costmodel::AnalyticalCostModel batched_cm;
+  const double t_batched = bench.elapsed_ms();
+  std::vector<std::vector<costmodel::ModelCost>> batched_results;
+  for (models::TaskId t : models::all_tasks()) {
+    batched_results.push_back(
+        batched_cm.model_cost_all_levels(models::model_graph(t), dvfs_accel));
+  }
+  const double batched_ms = bench.elapsed_ms() - t_batched;
+
+  // Deterministic equality guard: the two paths must agree bit-exactly.
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < batched_results.size(); ++i) {
+    for (std::size_t lvl = 0; lvl < batched_results[i].size(); ++lvl) {
+      const auto& a = per_level_results[i][lvl];
+      const auto& b = batched_results[i][lvl];
+      if (a.latency_ms != b.latency_ms || a.energy_mj != b.energy_mj ||
+          a.static_energy_mj != b.static_energy_mj ||
+          a.avg_utilization != b.avg_utilization) {
+        ++mismatches;
+      }
+    }
+  }
+  std::cout << "\n=== All-levels kernel: " << ladder.num_levels()
+            << "-level ladder over the zoo ===\n\n"
+            << "per-level vs batched mismatches: " << mismatches << "\n";
+  if (mismatches != 0) return 1;
+  std::cerr << "all-levels: per_level_ms=" << per_level_ms
+            << "  batched_ms=" << batched_ms << "  speedup="
+            << (batched_ms > 0.0 ? per_level_ms / batched_ms : 0.0) << "\n";
+
+  bench.add_metric("all_levels_per_level_ms", per_level_ms);
+  bench.add_metric("all_levels_batched_ms", batched_ms);
+  bench.add_metric("all_levels_speedup",
+                   batched_ms > 0.0 ? per_level_ms / batched_ms : 0.0);
+  bench.add_metric("all_levels_num_levels",
+                   static_cast<double>(ladder.num_levels()));
+  total_runs += static_cast<std::int64_t>(2 * batched_results.size());
   bench.set_runs(total_runs);
   return 0;
 }

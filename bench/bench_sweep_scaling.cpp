@@ -13,6 +13,15 @@
 //            CI diffs stdout across XRBENCH_THREADS values.
 //   stderr — throughput/timing lines (inherently nondeterministic).
 //
+// Besides the thread-scaling suite sweep, two phases isolate the other
+// rungs of the raw-speed ladder in BENCH_sweep_scaling.json:
+//   cold build — CostTable construction for the DVFS-laddered design family
+//     through the level-batched all-levels kernel vs the per-level
+//     model_cost_at walk (rung 1: cold_build_batched_ms vs
+//     cold_build_per_level_ms, batched_build_speedup);
+//   warm memo — the same builds again on the same cost model, now pure
+//     model-level memo hits (rung 2: warm_build_ms, model-memo hit rate).
+//
 // XRBENCH_THREADS, when set, replaces the default {1, 2, 4, 8} sweep with
 // that single worker count (0 = inline serial baseline).
 
@@ -24,6 +33,8 @@
 #include "core/report.h"
 #include "core/sweep.h"
 #include "hw/accelerator.h"
+#include "models/zoo.h"
+#include "runtime/cost_table.h"
 #include "util/bench_json.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -87,6 +98,7 @@ int main() {
     if (ti == 0) base_jobs_per_sec = jobs_per_sec;
 
     const auto memo = engine.memo_stats();
+    const auto model_memo = engine.model_memo_stats();
     const std::string suffix = "_t" + std::to_string(n);
     bench.add_metric("sweep_ms" + suffix, sweep_ms);
     bench.add_metric("jobs_per_sec" + suffix, jobs_per_sec);
@@ -94,9 +106,11 @@ int main() {
                                              ? jobs_per_sec / base_jobs_per_sec
                                              : 0.0);
     bench.add_metric("memo_hit_rate" + suffix, memo.hit_rate());
+    bench.add_metric("model_memo_hit_rate" + suffix, model_memo.hit_rate());
     std::cerr << "threads=" << n << "  sweep_ms=" << sweep_ms
               << "  jobs_per_sec=" << jobs_per_sec
-              << "  memo_hit_rate=" << memo.hit_rate() << "\n";
+              << "  memo_hit_rate=" << memo.hit_rate()
+              << "  model_memo_hit_rate=" << model_memo.hit_rate() << "\n";
 
     if (reference.empty()) {
       reference = std::move(outcomes);
@@ -118,6 +132,71 @@ int main() {
 
   bench.add_metric("trial_jobs", static_cast<double>(jobs));
   bench.add_metric("design_points", static_cast<double>(points.size()));
+
+  // --- Rung 1/2 phases: cold batched build vs per-level walk, then warm. --
+  // DVFS-laddered systems (5 levels each) are where the batched kernel
+  // pays off: one layer walk instead of five per (task, sub-accelerator).
+  std::vector<hw::AcceleratorSystem> ladder_systems;
+  for (char id : hw::accelerator_ids()) {
+    ladder_systems.push_back(
+        hw::with_default_dvfs(hw::make_accelerator(id, 4096)));
+  }
+
+  // Per-level reference: the pre-batching CostTable build loop — one full
+  // model_cost_at walk per (task, sub-accel, level) on a fresh cost model.
+  std::int64_t level_evals = 0;
+  const double t_per_level = bench.elapsed_ms();
+  {
+    costmodel::AnalyticalCostModel cold_cm;
+    for (const auto& sys : ladder_systems) {
+      for (models::TaskId task : models::all_tasks()) {
+        const auto& graph = models::model_graph(task);
+        for (const auto& sa : sys.sub_accels) {
+          for (std::size_t lvl = 0; lvl < sa.dvfs.num_levels(); ++lvl) {
+            const auto mc = cold_cm.model_cost_at(graph, sa, lvl);
+            if (mc.latency_ms < 0.0) return 1;  // keep the walk observable
+            ++level_evals;
+          }
+        }
+      }
+    }
+  }
+  const double per_level_ms = bench.elapsed_ms() - t_per_level;
+
+  // Cold batched build: full CostTable construction (batched kernel + all
+  // prefix tables) on a fresh cost model.
+  costmodel::AnalyticalCostModel build_cm;
+  std::vector<std::unique_ptr<runtime::CostTable>> tables;
+  const double t_cold = bench.elapsed_ms();
+  for (const auto& sys : ladder_systems) {
+    tables.push_back(std::make_unique<runtime::CostTable>(sys, build_cm));
+  }
+  const double cold_ms = bench.elapsed_ms() - t_cold;
+
+  // Warm rebuild: identical designs on the same model — pure memo hits.
+  const double t_warm = bench.elapsed_ms();
+  for (const auto& sys : ladder_systems) {
+    tables.push_back(std::make_unique<runtime::CostTable>(sys, build_cm));
+  }
+  const double warm_ms = bench.elapsed_ms() - t_warm;
+  const auto model_memo = build_cm.model_memo_stats();
+
+  bench.add_metric("cold_build_per_level_ms", per_level_ms);
+  bench.add_metric("cold_build_batched_ms", cold_ms);
+  bench.add_metric("batched_build_speedup",
+                   cold_ms > 0.0 ? per_level_ms / cold_ms : 0.0);
+  bench.add_metric("warm_build_ms", warm_ms);
+  bench.add_metric("warm_build_speedup",
+                   warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  bench.add_metric("model_memo_hit_rate", model_memo.hit_rate());
+  bench.add_metric("model_memo_entries",
+                   static_cast<double>(model_memo.entries));
+  std::cerr << "cold build: per-level=" << per_level_ms
+            << "ms  batched=" << cold_ms << "ms  (speedup "
+            << (cold_ms > 0.0 ? per_level_ms / cold_ms : 0.0)
+            << "x, " << level_evals << " level evals)\n"
+            << "warm rebuild: " << warm_ms << "ms  model_memo_hit_rate="
+            << model_memo.hit_rate() << "\n";
 
   // Deterministic report (stdout): one score table for the whole family.
   std::cout << "=== Sweep scaling: Table-5 family, full suite ===\n\n";

@@ -3,8 +3,9 @@
 // the analytical cost model (the data behind the scheduling results).
 //
 // The 26 cost tables (13 designs x 2 chip sizes) are built in parallel by
-// the SweepEngine; the shared cost model's LayerCost memo means identical
-// sub-accelerator partitions across designs are evaluated only once.
+// the SweepEngine; the shared cost model's model-level all-levels memo means
+// identical (model, sub-accelerator partition) pairs across designs are
+// evaluated only once.
 
 #include <iostream>
 
@@ -73,10 +74,16 @@ int main() {
     lat.print(std::cout);
   }
   std::cout << "\nCSV written to bench_output/table5_latencies.csv\n";
-  std::cout << "Cost-model memo entries after the sweep: " << cm.memo_size()
-            << "\n";
+  // Table builds run through the model-level all-levels memo; the layer
+  // memo only fills for direct layer_cost/model_cost callers.
+  std::cout << "Cost-model memo entries after the sweep: "
+            << cm.model_memo_size() << " model-level, " << cm.memo_size()
+            << " layer\n";
   bench.set_runs(tables_built);
   bench.add_metric("memo_entries", static_cast<double>(cm.memo_size()));
+  bench.add_metric("model_memo_entries",
+                   static_cast<double>(cm.model_memo_size()));
+  bench.add_metric("model_memo_hit_rate", cm.model_memo_stats().hit_rate());
   bench.add_metric("worker_threads",
                    static_cast<double>(engine.num_threads()));
   return 0;

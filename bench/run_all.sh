@@ -13,6 +13,8 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   exit 1
 fi
 
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
 cd "$BUILD_DIR"
 mkdir -p bench_output
 shopt -s nullglob
@@ -38,6 +40,17 @@ for b in "${benches[@]}"; do
 done
 
 echo
+echo "== sharded multi-process sweep (2 shards + merge + byte-diff)"
+if [[ ! -x ./xrbench_cli ]]; then
+  # xrbench_cli is both the sharded sweep runner and the merge tool; a
+  # build without it means the sharded rung silently vanishes from the
+  # perf record — treat that as fatal, not as a skipped bench.
+  echo "FATAL: xrbench_cli (sharded merge tool) missing from $BUILD_DIR" >&2
+  exit 1
+fi
+"$SCRIPT_DIR/run_sharded.sh" "$(pwd)" 2
+
+echo
 echo "== JSON perf records:"
 ls -1 bench_output/BENCH_*.json
 
@@ -46,7 +59,8 @@ ls -1 bench_output/BENCH_*.json
 # error, not a gap in the listing. bench_microbench is the one exception
 # (google-benchmark owns its output format).
 required=(
-  ablation_dvfs ablation_scheduler ablation_score_params costmodel_layers
+  ablation_dvfs ablation_scheduler ablation_score_params cli_sweep
+  cli_sweep_merged cli_sweep_shard0of2 cli_sweep_shard1of2 costmodel_layers
   fault_resilience figure5 figure6 figure7 figure8_rtscore fleet_load
   pareto program_ablation sweep_scaling table1_models table2_scenarios
   table5_accels

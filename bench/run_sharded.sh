@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Sharded multi-process sweep driver: runs the xrbench_cli full-suite sweep
+# split across N shard processes (one per socket/NUMA node on real
+# hardware), merges the shard score files back into the full report, and
+# byte-diffs the merged output against an unsharded reference run.
+#
+# Usage:
+#   bench/run_sharded.sh [build-dir] [num-shards]   (defaults: ./build, 2)
+# Environment:
+#   XRBENCH_THREADS  per-shard worker count (unset = hardware concurrency;
+#                    on a multi-socket box use cores-per-socket so the
+#                    shard processes don't oversubscribe each other)
+#
+# Emits, under <build-dir>/bench_output:
+#   BENCH_cli_sweep.json                 unsharded reference
+#   BENCH_cli_sweep_shard<i>of<N>.json   one per shard process
+#   BENCH_cli_sweep_merged.json          recombined record
+#   SHARD_cli_sweep_<i>_of_<N>.tsv       per-shard score files
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SHARDS="${2:-2}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "build dir '$BUILD_DIR' not found; run: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+cd "$BUILD_DIR"
+
+CLI=./xrbench_cli
+if [[ ! -x "$CLI" ]]; then
+  # The merge tool is the CLI itself (--merge-shards); without it the
+  # sharded sweep cannot be recombined — fail loudly, don't skip.
+  echo "FATAL: xrbench_cli (sharded sweep + merge tool) not found in $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p bench_output
+rm -f bench_output/SHARD_cli_sweep_*.tsv \
+      bench_output/BENCH_cli_sweep_shard*.json
+
+echo "== unsharded reference sweep"
+"$CLI" --sweep > bench_output/cli_sweep_unsharded.txt
+
+echo "== $NUM_SHARDS shard processes"
+pids=()
+for ((i = 0; i < NUM_SHARDS; ++i)); do
+  "$CLI" --sweep --shard "$i/$NUM_SHARDS" \
+    > "bench_output/cli_sweep_shard_${i}.log" 2>&1 &
+  pids+=($!)
+done
+fail=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || fail=1
+done
+if [[ $fail -ne 0 ]]; then
+  echo "FATAL: a shard process failed (see bench_output/cli_sweep_shard_*.log)" >&2
+  exit 1
+fi
+
+echo "== merge"
+"$CLI" --merge-shards bench_output > bench_output/cli_sweep_merged.txt
+
+if ! diff -u bench_output/cli_sweep_unsharded.txt \
+             bench_output/cli_sweep_merged.txt; then
+  echo "FATAL: merged sharded sweep differs from the unsharded run" >&2
+  exit 1
+fi
+echo "merged output is byte-identical to the unsharded sweep"

@@ -1,0 +1,364 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/table.h"
+
+namespace xrbench::core {
+namespace {
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+double parse_exact_double(const std::string& s, const std::string& path) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("shard file " + path +
+                            ": malformed double '" + s + "'");
+  }
+}
+
+std::size_t parse_size(const std::string& s, const std::string& path) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("shard file " + path +
+                            ": malformed integer '" + s + "'");
+  }
+}
+
+}  // namespace
+
+ShardSpec parse_shard(const std::string& spec) {
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    throw std::invalid_argument("parse_shard: expected 'i/N', got '" + spec +
+                                "'");
+  }
+  ShardSpec shard;
+  try {
+    std::size_t pos = 0;
+    shard.index = static_cast<std::size_t>(
+        std::stoull(spec.substr(0, slash), &pos));
+    if (pos != slash) throw std::invalid_argument(spec);
+    const std::string count_str = spec.substr(slash + 1);
+    shard.count = static_cast<std::size_t>(std::stoull(count_str, &pos));
+    if (pos != count_str.size()) throw std::invalid_argument(spec);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_shard: expected 'i/N', got '" + spec +
+                                "'");
+  }
+  if (shard.count == 0) {
+    throw std::invalid_argument("parse_shard: shard count must be > 0 in '" +
+                                spec + "'");
+  }
+  if (shard.index >= shard.count) {
+    throw std::invalid_argument("parse_shard: shard index " +
+                                std::to_string(shard.index) +
+                                " out of range for count " +
+                                std::to_string(shard.count));
+  }
+  return shard;
+}
+
+std::string shard_score_filename(const std::string& base, std::size_t index,
+                                 std::size_t count) {
+  return "SHARD_" + base + "_" + std::to_string(index) + "_of_" +
+         std::to_string(count) + ".tsv";
+}
+
+void write_shard_scores(const std::string& path, const std::string& base,
+                        const ShardSpec& shard, std::size_t total_points,
+                        const std::vector<ShardScoreRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_shard_scores: cannot open '" + path +
+                             "'");
+  }
+  out << "# xrbench-shard\t" << base << "\t" << shard.index << "\t"
+      << shard.count << "\t" << total_points << "\n";
+  for (const auto& row : rows) {
+    out << row.index << "\t" << row.label << "\t"
+        << util::fmt_double_exact(row.overall) << "\t"
+        << util::fmt_double_exact(row.realtime) << "\t"
+        << util::fmt_double_exact(row.energy) << "\t"
+        << util::fmt_double_exact(row.qoe) << "\n";
+  }
+}
+
+std::vector<ShardScoreRow> read_shard_scores(const std::string& path,
+                                             std::string* base,
+                                             ShardSpec* shard,
+                                             std::size_t* total_points) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_shard_scores: cannot open '" + path + "'");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("shard file " + path + ": empty file");
+  }
+  const auto header = split_tabs(line);
+  if (header.size() != 5 || header[0] != "# xrbench-shard") {
+    throw std::runtime_error("shard file " + path + ": bad header");
+  }
+  if (base) *base = header[1];
+  ShardSpec spec;
+  spec.index = parse_size(header[2], path);
+  spec.count = parse_size(header[3], path);
+  if (spec.count == 0 || spec.index >= spec.count) {
+    throw std::runtime_error("shard file " + path + ": bad shard identity " +
+                             header[2] + "/" + header[3]);
+  }
+  if (shard) *shard = spec;
+  if (total_points) *total_points = parse_size(header[4], path);
+
+  std::vector<ShardScoreRow> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_tabs(line);
+    if (fields.size() != 6) {
+      throw std::runtime_error("shard file " + path +
+                               ": expected 6 tab-separated fields, got " +
+                               std::to_string(fields.size()));
+    }
+    ShardScoreRow row;
+    row.index = parse_size(fields[0], path);
+    row.label = fields[1];
+    row.overall = parse_exact_double(fields[2], path);
+    row.realtime = parse_exact_double(fields[3], path);
+    row.energy = parse_exact_double(fields[4], path);
+    row.qoe = parse_exact_double(fields[5], path);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<ShardScoreRow> merge_shard_scores(const std::string& dir,
+                                              const std::string& base,
+                                              std::size_t* out_count) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("merge_shard_scores: '" + dir +
+                             "' is not a directory");
+  }
+  const std::string prefix = "SHARD_" + base + "_";
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".tsv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (paths.empty()) {
+    throw std::runtime_error("merge_shard_scores: no '" + prefix +
+                             "*.tsv' files in '" + dir + "'");
+  }
+  // Deterministic read order (directory iteration order is unspecified).
+  std::sort(paths.begin(), paths.end());
+
+  std::size_t shard_count = 0;
+  std::size_t total_points = 0;
+  std::vector<bool> shard_seen;
+  std::vector<ShardScoreRow> merged;
+  for (const auto& path : paths) {
+    std::string file_base;
+    ShardSpec spec;
+    std::size_t file_total = 0;
+    auto rows = read_shard_scores(path, &file_base, &spec, &file_total);
+    if (file_base != base) {
+      throw std::runtime_error("shard file " + path + ": base '" + file_base +
+                               "' does not match requested '" + base + "'");
+    }
+    if (shard_count == 0) {
+      shard_count = spec.count;
+      total_points = file_total;
+      shard_seen.assign(shard_count, false);
+    } else if (spec.count != shard_count || file_total != total_points) {
+      throw std::runtime_error(
+          "shard file " + path +
+          ": inconsistent shard set (count/total mismatch across files)");
+    }
+    if (shard_seen[spec.index]) {
+      throw std::runtime_error("merge_shard_scores: shard " +
+                               std::to_string(spec.index) + "/" +
+                               std::to_string(shard_count) +
+                               " appears twice");
+    }
+    shard_seen[spec.index] = true;
+    for (auto& row : rows) merged.push_back(std::move(row));
+  }
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    if (!shard_seen[i]) {
+      throw std::runtime_error("merge_shard_scores: shard " +
+                               std::to_string(i) + "/" +
+                               std::to_string(shard_count) + " is missing");
+    }
+  }
+  if (merged.size() != total_points) {
+    throw std::runtime_error(
+        "merge_shard_scores: merged " + std::to_string(merged.size()) +
+        " rows but the sweep has " + std::to_string(total_points) +
+        " points");
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ShardScoreRow& a, const ShardScoreRow& b) {
+              return a.index < b.index;
+            });
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (merged[i].index != i) {
+      throw std::runtime_error("merge_shard_scores: point index " +
+                               std::to_string(i) +
+                               " is missing or duplicated");
+    }
+  }
+  if (out_count) *out_count = shard_count;
+  return merged;
+}
+
+BenchJsonData read_bench_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_bench_json: cannot open '" + path + "'");
+  }
+  BenchJsonData data;
+  std::string line;
+  while (std::getline(in, line)) {
+    // The flat one-"key": value-per-line format util::BenchJson writes.
+    const std::size_t kq0 = line.find('"');
+    if (kq0 == std::string::npos) continue;
+    const std::size_t kq1 = line.find('"', kq0 + 1);
+    if (kq1 == std::string::npos) continue;
+    const std::string key = line.substr(kq0 + 1, kq1 - kq0 - 1);
+    std::size_t vpos = line.find(':', kq1);
+    if (vpos == std::string::npos) continue;
+    ++vpos;
+    while (vpos < line.size() && line[vpos] == ' ') ++vpos;
+    std::string value = line.substr(vpos);
+    while (!value.empty() &&
+           (value.back() == ',' || value.back() == ' ')) {
+      value.pop_back();
+    }
+    if (key == "name") {
+      const std::size_t q0 = value.find('"');
+      const std::size_t q1 = value.rfind('"');
+      if (q0 != std::string::npos && q1 > q0) {
+        data.name = value.substr(q0 + 1, q1 - q0 - 1);
+      }
+      continue;
+    }
+    double num = 0.0;
+    try {
+      num = std::stod(value);
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_bench_json: " + path +
+                               ": malformed value for '" + key + "'");
+    }
+    if (key == "wall_clock_ms") {
+      data.wall_clock_ms = num;
+    } else if (key == "runs") {
+      data.runs = static_cast<std::int64_t>(num);
+    } else if (key == "runs_per_sec" || key == "hardware_threads") {
+      // Recomputed / environment fields; not merged.
+    } else {
+      data.metrics.emplace_back(key, num);
+    }
+  }
+  return data;
+}
+
+void merge_bench_json(const std::vector<std::string>& shard_paths,
+                      const std::string& merged_name) {
+  if (shard_paths.empty()) {
+    throw std::runtime_error("merge_bench_json: no shard files given");
+  }
+  double wall_ms = 0.0;
+  std::int64_t runs = 0;
+  struct Merged {
+    std::string key;
+    double value = 0.0;
+    std::size_t samples = 0;
+  };
+  std::vector<Merged> metrics;
+  std::vector<std::pair<std::string, double>> per_shard_wall;
+  for (std::size_t i = 0; i < shard_paths.size(); ++i) {
+    const BenchJsonData data = read_bench_json(shard_paths[i]);
+    // Shards run as concurrent processes: the sweep's wall clock is the
+    // slowest shard, not the sum.
+    wall_ms = std::max(wall_ms, data.wall_clock_ms);
+    runs += data.runs;
+    per_shard_wall.emplace_back("shard" + std::to_string(i) + "_wall_ms",
+                                data.wall_clock_ms);
+    for (const auto& [key, value] : data.metrics) {
+      auto it = std::find_if(metrics.begin(), metrics.end(),
+                             [&](const Merged& m) { return m.key == key; });
+      if (it == metrics.end()) {
+        metrics.push_back({key, value, 1});
+      } else {
+        it->value += value;
+        ++it->samples;
+      }
+    }
+  }
+  // Counts (points, trial jobs) sum across shards; rates do not — a summed
+  // hit rate > 1 is meaningless, so *_rate keys merge as the plain mean.
+  for (auto& m : metrics) {
+    const bool is_rate =
+        m.key.size() >= 5 && m.key.substr(m.key.size() - 5) == "_rate";
+    if (is_rate && m.samples > 1) {
+      m.value /= static_cast<double>(m.samples);
+    }
+  }
+  std::filesystem::create_directories("bench_output");
+  const std::string out_path = "bench_output/BENCH_" + merged_name + ".json";
+  std::ofstream out(out_path);
+  if (!out) {
+    throw std::runtime_error("merge_bench_json: cannot open '" + out_path +
+                             "'");
+  }
+  out << "{\n";
+  out << "  \"name\": \"" << merged_name << "\",\n";
+  out << "  \"wall_clock_ms\": " << wall_ms << ",\n";
+  out << "  \"runs\": " << runs << ",\n";
+  out << "  \"runs_per_sec\": "
+      << (wall_ms > 0.0 ? static_cast<double>(runs) / (wall_ms / 1000.0)
+                        : 0.0)
+      << ",\n";
+  out << "  \"merged_shards\": " << shard_paths.size() << ",\n";
+  for (const auto& [key, value] : per_shard_wall) {
+    out << "  \"" << key << "\": " << value << ",\n";
+  }
+  for (const auto& m : metrics) {
+    out << "  \"" << m.key << "\": " << m.value << ",\n";
+  }
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << "\n";
+  out << "}\n";
+}
+
+}  // namespace xrbench::core

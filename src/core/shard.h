@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xrbench::core {
+
+/// One slice of a sharded multi-process sweep: this process owns every
+/// sweep point whose index i satisfies i % count == index. Index-stride
+/// partitioning (round-robin) balances heterogeneous point costs across
+/// shards without any coordination — shard processes never communicate,
+/// they only agree on the point enumeration order.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  /// True when the sweep is actually split (count > 1).
+  bool active() const { return count > 1; }
+
+  bool owns(std::size_t point_index) const {
+    return point_index % count == index;
+  }
+};
+
+/// Parses "i/N" (e.g. "0/2", "3/4"). Throws std::invalid_argument for
+/// malformed specs, N == 0 or i >= N.
+ShardSpec parse_shard(const std::string& spec);
+
+/// One sweep point's scores as carried through a shard score file. The four
+/// doubles round-trip exactly (util::fmt_double_exact on write, std::stod
+/// on read), which is what lets the merged report render byte-identically
+/// to the unsharded run.
+struct ShardScoreRow {
+  std::size_t index = 0;  ///< Position in the full (unsharded) point list.
+  std::string label;
+  double overall = 0.0;
+  double realtime = 0.0;
+  double energy = 0.0;
+  double qoe = 0.0;
+};
+
+/// Canonical score-file name for shard i of N: "SHARD_<base>_<i>_of_<N>.tsv".
+std::string shard_score_filename(const std::string& base, std::size_t index,
+                                 std::size_t count);
+
+/// Writes one shard's rows to `path` as a TSV with a header line carrying
+/// the shard identity and the TOTAL point count of the unsharded sweep
+/// (the merge validates full coverage against it). Doubles are serialized
+/// with util::fmt_double_exact.
+void write_shard_scores(const std::string& path, const std::string& base,
+                        const ShardSpec& shard, std::size_t total_points,
+                        const std::vector<ShardScoreRow>& rows);
+
+/// Reads one shard score file written by write_shard_scores. Throws
+/// std::runtime_error on a malformed file. Outputs the shard identity and
+/// total point count through the out-parameters.
+std::vector<ShardScoreRow> read_shard_scores(const std::string& path,
+                                             std::string* base,
+                                             ShardSpec* shard,
+                                             std::size_t* total_points);
+
+/// Merges the complete shard set "SHARD_<base>_<i>_of_<N>.tsv" found in
+/// `dir` back into the full point list, ordered by point index. Validates
+/// that every file agrees on N and the total point count, that all N shards
+/// are present, and that the union of rows covers every index 0..total-1
+/// exactly once — a missing or doubled shard fails loudly instead of
+/// producing a silently-truncated report. Throws std::runtime_error.
+/// `shard_count`, when non-null, receives the set's N.
+std::vector<ShardScoreRow> merge_shard_scores(
+    const std::string& dir, const std::string& base,
+    std::size_t* shard_count = nullptr);
+
+/// A BENCH_*.json file's contents (the flat format util::BenchJson writes).
+struct BenchJsonData {
+  std::string name;
+  double wall_clock_ms = 0.0;
+  std::int64_t runs = 0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Parses a BENCH_*.json written by util::BenchJson. Throws
+/// std::runtime_error if the file is missing or malformed.
+BenchJsonData read_bench_json(const std::string& path);
+
+/// Recombines per-shard BENCH json files into one merged record written as
+/// `bench_output/BENCH_<merged_name>.json`: runs are summed, wall-clock is
+/// the max across shards (they run as concurrent processes), and each
+/// shard's wall-clock is preserved as a `shard<i>_wall_ms` metric. Metrics
+/// with the same key across shards are summed (shard metrics are counts:
+/// points, trial jobs). Throws std::runtime_error on unreadable input.
+void merge_bench_json(const std::vector<std::string>& shard_paths,
+                      const std::string& merged_name);
+
+}  // namespace xrbench::core

@@ -103,6 +103,11 @@ class SweepEngine {
   /// after the sweep returns; mid-flight values are approximate.
   costmodel::MemoStats memo_stats() const;
 
+  /// Model-level memo counters (the all-levels cache above the layer memo)
+  /// aggregated over every cost model this engine has instantiated. Same
+  /// call-after-quiesce contract as memo_stats().
+  costmodel::MemoStats model_memo_stats() const;
+
  private:
   /// Shared cost model for a point's energy constants. Points with equal
   /// EnergyParams share one model instance (and so its LayerCost memo),

@@ -75,6 +75,7 @@ AnalyticalCostModel& AnalyticalCostModel::operator=(
   if (this != &other) {
     energy_ = other.energy_;
     clear_memo();
+    clear_model_memo();
   }
   return *this;
 }
@@ -224,13 +225,13 @@ SpatialMapping AnalyticalCostModel::spatial_mapping(
   return m;
 }
 
-LayerCost AnalyticalCostModel::mac_layer_cost(
+AnalyticalCostModel::LayerCostCore AnalyticalCostModel::mac_layer_core(
     const Layer& layer, const SubAccelConfig& accel) const {
-  LayerCost cost;
+  LayerCostCore core;
   const bool dw = layer.type == OpType::kDepthwiseConv2d;
   const SpatialMapping m =
       spatial_mapping(layer, accel.dataflow, accel.num_pes);
-  cost.mapping = m;
+  core.mapping = m;
 
   const auto macs = static_cast<double>(layer.macs());
   const auto w_elems = static_cast<double>(layer.weight_bytes());
@@ -303,63 +304,75 @@ LayerCost AnalyticalCostModel::mac_layer_cost(
     }
   }
 
-  cost.compute_cycles = compute;
-  cost.sram_traffic_bytes = sram + in_elems;  // fills from DRAM land in SRAM
-  cost.noc_cycles = sram / accel.noc_bytes_per_cycle;
-  cost.dram_traffic_bytes = dram_traffic(layer, accel);
-  cost.dram_cycles = cost.dram_traffic_bytes / accel.offchip_bytes_per_cycle;
-  cost.total_cycles =
-      std::max({cost.compute_cycles, cost.noc_cycles, cost.dram_cycles}) +
-      kLayerOverheadCycles;
-  cost.latency_ms = cost.total_cycles / (accel.clock_ghz * 1e6);
-  // Utilization is a fraction of the array's MAC capacity by definition;
-  // clamp against rounding slack in the cycle model.
-  cost.utilization = std::min(
-      1.0, std::max(0.0, macs / (cost.total_cycles *
-                                 static_cast<double>(accel.num_pes))));
-
-  const double pj = macs * energy_.mac_pj +
-                    cost.sram_traffic_bytes *
-                        (energy_.sram_pj_per_byte + energy_.noc_pj_per_byte) +
-                    cost.dram_traffic_bytes * energy_.dram_pj_per_byte;
-  const double static_mj = energy_.static_mw_per_pe *
-                           static_cast<double>(accel.num_pes) *
-                           cost.latency_ms * 1e-3;  // mW * ms = uJ; /1e3 -> mJ
-  cost.static_energy_mj = static_mj;
-  cost.energy_mj = pj * 1e-9 + static_mj;
-  return cost;
+  core.compute_cycles = compute;
+  core.noc_bytes = sram;
+  core.sram_traffic_bytes = sram + in_elems;  // fills from DRAM land in SRAM
+  core.dram_traffic_bytes = dram_traffic(layer, accel);
+  core.macs = macs;
+  core.dynamic_pj =
+      macs * energy_.mac_pj +
+      core.sram_traffic_bytes *
+          (energy_.sram_pj_per_byte + energy_.noc_pj_per_byte) +
+      core.dram_traffic_bytes * energy_.dram_pj_per_byte;
+  return core;
 }
 
-LayerCost AnalyticalCostModel::vector_layer_cost(
+AnalyticalCostModel::LayerCostCore AnalyticalCostModel::vector_layer_core(
     const Layer& layer, const SubAccelConfig& accel) const {
-  LayerCost cost;
+  LayerCostCore core;
+  core.vector_op = true;
   const auto ops = static_cast<double>(layer.macs());
   const auto bytes = static_cast<double>(layer.input_bytes()) +
                      static_cast<double>(layer.output_bytes());
-  cost.compute_cycles =
+  core.compute_cycles =
       ops / (static_cast<double>(accel.num_pes) * kVectorOpEfficiency);
-  cost.sram_traffic_bytes = bytes;
-  cost.noc_cycles = bytes / accel.noc_bytes_per_cycle;
+  core.noc_bytes = bytes;
+  core.sram_traffic_bytes = bytes;
   // Vector ops are typically fused with neighbours; only a fraction of their
   // tensors round-trips to DRAM.
-  cost.dram_traffic_bytes = 0.25 * bytes;
-  cost.dram_cycles = cost.dram_traffic_bytes / accel.offchip_bytes_per_cycle;
+  core.dram_traffic_bytes = 0.25 * bytes;
+  core.macs = ops;
+  core.dynamic_pj =
+      ops * 0.5 * energy_.mac_pj +
+      core.sram_traffic_bytes *
+          (energy_.sram_pj_per_byte + energy_.noc_pj_per_byte) +
+      core.dram_traffic_bytes * energy_.dram_pj_per_byte;
+  return core;
+}
+
+AnalyticalCostModel::LayerCostCore AnalyticalCostModel::layer_core(
+    const Layer& layer, const SubAccelConfig& accel) const {
+  return is_vector_op(layer.type) ? vector_layer_core(layer, accel)
+                                  : mac_layer_core(layer, accel);
+}
+
+LayerCost AnalyticalCostModel::finish_layer_cost(
+    const LayerCostCore& core, double clock_ghz, double noc_bytes_per_cycle,
+    double offchip_bytes_per_cycle, std::int64_t num_pes) const {
+  LayerCost cost;
+  cost.mapping = core.mapping;
+  cost.compute_cycles = core.compute_cycles;
+  cost.sram_traffic_bytes = core.sram_traffic_bytes;
+  cost.dram_traffic_bytes = core.dram_traffic_bytes;
+  cost.noc_cycles = core.noc_bytes / noc_bytes_per_cycle;
+  cost.dram_cycles = core.dram_traffic_bytes / offchip_bytes_per_cycle;
   cost.total_cycles =
       std::max({cost.compute_cycles, cost.noc_cycles, cost.dram_cycles}) +
       kLayerOverheadCycles;
-  cost.latency_ms = cost.total_cycles / (accel.clock_ghz * 1e6);
-  cost.utilization = 0.0;
-
-  const double pj =
-      ops * 0.5 * energy_.mac_pj +
-      cost.sram_traffic_bytes *
-          (energy_.sram_pj_per_byte + energy_.noc_pj_per_byte) +
-      cost.dram_traffic_bytes * energy_.dram_pj_per_byte;
+  cost.latency_ms = cost.total_cycles / (clock_ghz * 1e6);
+  // Utilization is a fraction of the array's MAC capacity by definition;
+  // clamp against rounding slack in the cycle model. 0 for vector ops.
+  cost.utilization =
+      core.vector_op
+          ? 0.0
+          : std::min(1.0, std::max(0.0, core.macs /
+                                            (cost.total_cycles *
+                                             static_cast<double>(num_pes))));
   const double static_mj = energy_.static_mw_per_pe *
-                           static_cast<double>(accel.num_pes) *
-                           cost.latency_ms * 1e-3;
+                           static_cast<double>(num_pes) *
+                           cost.latency_ms * 1e-3;  // mW * ms = uJ; /1e3 -> mJ
   cost.static_energy_mj = static_mj;
-  cost.energy_mj = pj * 1e-9 + static_mj;
+  cost.energy_mj = core.dynamic_pj * 1e-9 + static_mj;
   return cost;
 }
 
@@ -381,8 +394,9 @@ double AnalyticalCostModel::dram_traffic(const Layer& layer,
 
 LayerCost AnalyticalCostModel::compute_layer_cost(
     const Layer& layer, const SubAccelConfig& accel) const {
-  return is_vector_op(layer.type) ? vector_layer_cost(layer, accel)
-                                  : mac_layer_cost(layer, accel);
+  return finish_layer_cost(layer_core(layer, accel), accel.clock_ghz,
+                           accel.noc_bytes_per_cycle,
+                           accel.offchip_bytes_per_cycle, accel.num_pes);
 }
 
 LayerCost AnalyticalCostModel::layer_cost(const Layer& layer,
@@ -489,6 +503,229 @@ ModelCost AnalyticalCostModel::model_cost_at(const ModelGraph& graph,
     }
   }
   return mc;
+}
+
+std::vector<ModelCost> AnalyticalCostModel::model_cost_all_levels(
+    const ModelGraph& graph, const SubAccelConfig& accel) const {
+  if (!accel.valid()) {
+    throw std::invalid_argument(
+        "model_cost_all_levels: invalid accelerator config '" + accel.id +
+        "'");
+  }
+  const hw::DvfsState& dvfs = accel.dvfs;
+  const std::size_t num_levels = dvfs.num_levels();
+
+  // Per-level finish parameters, hoisted out of the layer walk. The scaled
+  // bandwidths are computed exactly as model_cost_at computes them
+  // (nominal * ratio, THEN divide the byte count by the product) — dividing
+  // by nominal and then by ratio is a different FP expression, and the
+  // bit-identity contract with the per-level path would not survive it.
+  struct LevelParams {
+    double clock_ghz = 0.0;
+    double noc_bpc = 0.0;
+    double offchip_bpc = 0.0;
+    double vr = 1.0;
+  };
+  std::vector<LevelParams> params(num_levels);
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    LevelParams& p = params[l];
+    if (dvfs.levels.empty()) {
+      p.clock_ghz = accel.clock_ghz;
+      p.noc_bpc = accel.noc_bytes_per_cycle;
+      p.offchip_bpc = accel.offchip_bytes_per_cycle;
+      p.vr = 1.0;
+      continue;
+    }
+    const hw::DvfsOperatingPoint& op = dvfs.levels[l];
+    if (op.freq_ghz != accel.clock_ghz) {
+      const double ratio = accel.clock_ghz / op.freq_ghz;
+      p.clock_ghz = op.freq_ghz;
+      p.noc_bpc = accel.noc_bytes_per_cycle * ratio;
+      p.offchip_bpc = accel.offchip_bytes_per_cycle * ratio;
+    } else {
+      p.clock_ghz = accel.clock_ghz;
+      p.noc_bpc = accel.noc_bytes_per_cycle;
+      p.offchip_bpc = accel.offchip_bytes_per_cycle;
+    }
+    p.vr = op.voltage_v / hw::kNominalVoltageV;
+  }
+
+  std::vector<ModelCost> result(num_levels);
+  std::vector<double> mac_weighted_util(num_levels, 0.0);
+  double total_macs = 0.0;
+  for (auto& mc : result) mc.layers.reserve(graph.num_layers());
+
+  // ONE walk over the layer list: the level-invariant core (mapping, cycle
+  // counts, traffic, switching energy) is computed once per layer, and only
+  // the per-level tail runs in the inner loop.
+  for (const auto& layer : graph.layers()) {
+    if (!layer.valid()) {
+      throw std::invalid_argument("model_cost_all_levels: invalid layer '" +
+                                  layer.name + "'");
+    }
+    const LayerCostCore core = layer_core(layer, accel);
+    if (!core.vector_op) total_macs += core.macs;
+    for (std::size_t l = 0; l < num_levels; ++l) {
+      const LevelParams& p = params[l];
+      LayerCost lc = finish_layer_cost(core, p.clock_ghz, p.noc_bpc,
+                                       p.offchip_bpc, accel.num_pes);
+      ModelCost& mc = result[l];
+      mc.latency_ms += lc.latency_ms;
+      if (p.vr != 1.0) {
+        // Same transform — and the same subtract-then-scale sequence — as
+        // model_cost_at's voltage pass; (d + s) - s is not exactly d in FP,
+        // so re-deriving dynamic energy from core.dynamic_pj would diverge.
+        const double dynamic_mj = lc.energy_mj - lc.static_energy_mj;
+        lc.static_energy_mj *= p.vr;
+        lc.energy_mj = dynamic_mj * p.vr * p.vr + lc.static_energy_mj;
+      }
+      mc.energy_mj += lc.energy_mj;
+      mc.static_energy_mj += lc.static_energy_mj;
+      mc.dram_traffic_bytes += lc.dram_traffic_bytes;
+      if (!core.vector_op) mac_weighted_util[l] += lc.utilization * core.macs;
+      mc.layers.push_back(std::move(lc));
+    }
+  }
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    result[l].avg_utilization =
+        total_macs > 0 ? mac_weighted_util[l] / total_macs : 0.0;
+  }
+  return result;
+}
+
+bool AnalyticalCostModel::ModelCostKey::operator==(
+    const ModelCostKey& o) const {
+  if (hash != o.hash || dataflow != o.dataflow || num_pes != o.num_pes ||
+      sram_bytes != o.sram_bytes || clock_ghz != o.clock_ghz ||
+      noc_bytes_per_cycle != o.noc_bytes_per_cycle ||
+      offchip_bytes_per_cycle != o.offchip_bytes_per_cycle ||
+      levels.size() != o.levels.size() || layer_sig != o.layer_sig) {
+    return false;
+  }
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].freq_ghz != o.levels[i].freq_ghz ||
+        levels[i].voltage_v != o.levels[i].voltage_v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AnalyticalCostModel::ModelCostKey AnalyticalCostModel::make_model_key(
+    const ModelGraph& graph, const SubAccelConfig& accel) {
+  ModelCostKey key;
+  key.layer_sig.reserve(graph.num_layers() * 8);
+  for (const auto& layer : graph.layers()) {
+    key.layer_sig.push_back(static_cast<std::int64_t>(layer.type));
+    key.layer_sig.push_back(layer.k);
+    key.layer_sig.push_back(layer.c);
+    key.layer_sig.push_back(layer.y);
+    key.layer_sig.push_back(layer.x);
+    key.layer_sig.push_back(layer.r);
+    key.layer_sig.push_back(layer.s);
+    key.layer_sig.push_back(layer.elems);
+  }
+  key.dataflow = static_cast<int>(accel.dataflow);
+  key.num_pes = accel.num_pes;
+  key.sram_bytes = accel.sram_bytes;
+  key.clock_ghz = accel.clock_ghz;
+  key.noc_bytes_per_cycle = accel.noc_bytes_per_cycle;
+  key.offchip_bytes_per_cycle = accel.offchip_bytes_per_cycle;
+  key.levels = accel.dvfs.levels;
+
+  std::size_t h = static_cast<std::size_t>(key.dataflow);
+  for (std::int64_t v : key.layer_sig) {
+    h = hash_combine(h, static_cast<std::size_t>(v));
+  }
+  h = hash_combine(h, static_cast<std::size_t>(key.num_pes));
+  h = hash_combine(h, static_cast<std::size_t>(key.sram_bytes));
+  h = hash_combine(h, hash_double(key.clock_ghz));
+  h = hash_combine(h, hash_double(key.noc_bytes_per_cycle));
+  h = hash_combine(h, hash_double(key.offchip_bytes_per_cycle));
+  for (const auto& op : key.levels) {
+    h = hash_combine(h, hash_double(op.freq_ghz));
+    h = hash_combine(h, hash_double(op.voltage_v));
+  }
+  key.hash = static_cast<std::size_t>(splitmix64(h));
+  return key;
+}
+
+std::size_t AnalyticalCostModel::model_shard_index(std::size_t hash) {
+  static_assert((kModelMemoShards & (kModelMemoShards - 1)) == 0,
+                "kModelMemoShards must be a power of two");
+  const std::uint64_t folded =
+      static_cast<std::uint64_t>(hash) * 0x9e3779b97f4a7c15ULL;
+  constexpr unsigned kShardBits = 3;  // log2(kModelMemoShards)
+  static_assert((1u << kShardBits) == kModelMemoShards,
+                "model shard bits mismatch");
+  return static_cast<std::size_t>(folded >> (64 - kShardBits));
+}
+
+std::shared_ptr<const std::vector<ModelCost>>
+AnalyticalCostModel::cached_model_cost_all_levels(
+    const ModelGraph& graph, const SubAccelConfig& accel) const {
+  ModelCostKey key = make_model_key(graph, accel);
+  ModelMemoShard& shard = model_memo_shards_[model_shard_index(key.hash)];
+  {
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Statistical counter, same trade as the layer memo: no atomic RMW on
+      // the hit path.
+      shard.hits.store(shard.hits.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Compute outside the lock; a racing duplicate evaluation is rare (the
+  // key space is per model, not per layer) and both threads produce the
+  // same value.
+  auto value = std::make_shared<const std::vector<ModelCost>>(
+      model_cost_all_levels(graph, accel));
+  {
+    std::unique_lock lock(shard.mutex);
+    ++shard.misses;
+    const auto [it, inserted] = shard.map.emplace(std::move(key), value);
+    if (inserted) {
+      ++shard.inserts;
+    } else {
+      value = it->second;  // the racing winner's copy stays canonical
+    }
+  }
+  return value;
+}
+
+std::size_t AnalyticalCostModel::model_memo_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : model_memo_shards_) {
+    std::shared_lock lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void AnalyticalCostModel::clear_model_memo() const {
+  for (auto& shard : model_memo_shards_) {
+    std::unique_lock lock(shard.mutex);
+    shard.map.clear();
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses = 0;
+    shard.inserts = 0;
+  }
+}
+
+MemoStats AnalyticalCostModel::model_memo_stats() const {
+  MemoStats stats;
+  stats.shard_entries.reserve(kModelMemoShards);
+  for (const auto& shard : model_memo_shards_) {
+    std::shared_lock lock(shard.mutex);
+    stats.hits += shard.hits.load(std::memory_order_relaxed);
+    stats.misses += shard.misses;
+    stats.inserts += shard.inserts;
+    stats.entries += shard.map.size();
+    stats.shard_entries.push_back(shard.map.size());
+  }
+  return stats;
 }
 
 double AnalyticalCostModel::idle_power_mw(const SubAccelConfig& accel,

@@ -137,6 +137,29 @@ class AnalyticalCostModel {
   ModelCost model_cost_at(const ModelGraph& graph, const SubAccelConfig& accel,
                           std::size_t dvfs_level) const;
 
+  /// Level-batched cost kernel: the costs of `graph` on `accel` at EVERY
+  /// DVFS level of accel.dvfs (result[l] == model_cost_at(graph, accel, l)
+  /// bit-exactly, test-enforced). Walks the layer list ONCE: the
+  /// level-invariant terms of each layer (spatial mapping, compute cycles,
+  /// SRAM/NoC/DRAM traffic, dynamic switching energy) are computed a single
+  /// time, and only the per-level tail — the roofline against the shifted
+  /// clock, the latency-proportional static energy and the (V/Vnom)^2
+  /// voltage scaling — runs in the inner loop over levels. This is the
+  /// CostTable build kernel: a five-level ladder stops paying five full
+  /// layer walks per (task, sub-accelerator).
+  std::vector<ModelCost> model_cost_all_levels(
+      const ModelGraph& graph, const SubAccelConfig& accel) const;
+
+  /// Memoized model_cost_all_levels: a sharded (graph signature x sub-accel
+  /// config x all-levels) cache ABOVE the per-layer memo, so repeated
+  /// (model, sub-accelerator) pairs across sweep points skip the layer walk
+  /// entirely (CostTable builds call this). The returned vector is shared —
+  /// concurrent builds of identical designs read one cached copy. Keys
+  /// compare the full layer-dimension list, never just a hash, so a
+  /// collision can not silently alias two models.
+  std::shared_ptr<const std::vector<ModelCost>> cached_model_cost_all_levels(
+      const ModelGraph& graph, const SubAccelConfig& accel) const;
+
   /// Idle power (mW) of `accel` parked at DVFS level `dvfs_level`:
   /// DvfsState::idle_mw scaled by V/Vnom at that level (leakage ~ V, same
   /// relation the static term uses), anchored at the global calibration
@@ -174,6 +197,21 @@ class AnalyticalCostModel {
   /// stop serializing on a single lock.
   static constexpr std::size_t kMemoShards = 16;
 
+  /// Entries in the model-level memo (distinct (graph, sub-accel config)
+  /// pairs evaluated through cached_model_cost_all_levels).
+  std::size_t model_memo_size() const;
+  void clear_model_memo() const;
+
+  /// Hit/miss/insert counters plus per-shard occupancy of the model-level
+  /// memo, same exactness contract as memo_stats() (hits are a tight lower
+  /// bound under concurrency, misses/inserts/entries exact at quiesce).
+  MemoStats model_memo_stats() const;
+
+  /// Shard count of the model-level memo. Fewer shards than the layer memo:
+  /// the key space is per (model, sub-accel config), orders of magnitude
+  /// smaller than per layer.
+  static constexpr std::size_t kModelMemoShards = 8;
+
  private:
   /// Memo key: everything layer_cost() depends on other than the energy
   /// constants (fixed per model instance). Layer names are deliberately
@@ -197,10 +235,35 @@ class AnalyticalCostModel {
 
   static LayerCostKey make_key(const Layer& layer,
                                const SubAccelConfig& accel);
-  LayerCost mac_layer_cost(const Layer& layer,
+
+  /// The level-invariant part of one layer's cost: everything that does not
+  /// depend on the clock or the per-cycle bandwidths. finish_layer_cost
+  /// turns a core into a LayerCost for one operating point; the per-level
+  /// path (compute_layer_cost) and the batched all-levels kernel both run
+  /// through this exact pair, which is what makes them bit-identical.
+  struct LayerCostCore {
+    bool vector_op = false;
+    SpatialMapping mapping;
+    double compute_cycles = 0.0;
+    double noc_bytes = 0.0;  ///< Numerator of noc_cycles (SRAM<->PE bytes).
+    double sram_traffic_bytes = 0.0;
+    double dram_traffic_bytes = 0.0;
+    double macs = 0.0;        ///< MACs (or vector ops); 0-util for vectors.
+    double dynamic_pj = 0.0;  ///< Switching energy at the nominal voltage.
+  };
+  LayerCostCore mac_layer_core(const Layer& layer,
+                               const SubAccelConfig& accel) const;
+  LayerCostCore vector_layer_core(const Layer& layer,
+                                  const SubAccelConfig& accel) const;
+  LayerCostCore layer_core(const Layer& layer,
                            const SubAccelConfig& accel) const;
-  LayerCost vector_layer_cost(const Layer& layer,
-                              const SubAccelConfig& accel) const;
+
+  /// Per-level tail: roofline against (clock, bandwidths), static energy
+  /// over the resulting latency, utilization clamp.
+  LayerCost finish_layer_cost(const LayerCostCore& core, double clock_ghz,
+                              double noc_bytes_per_cycle,
+                              double offchip_bytes_per_cycle,
+                              std::int64_t num_pes) const;
 
   /// DRAM traffic with SRAM-capacity-driven re-fetch (choose the cheaper of
   /// re-streaming inputs per weight tile or weights per input tile).
@@ -232,9 +295,46 @@ class AnalyticalCostModel {
   /// the low bits).
   static std::size_t shard_index(std::size_t hash);
 
+  /// Model-level memo key: the graph's full layer-dimension signature plus
+  /// every sub-accel field model_cost_all_levels reads — including the DVFS
+  /// ladder, since the value covers all levels. Names are excluded on both
+  /// sides (two graphs with identical layer lists cost the same), and so
+  /// are transition_ms / idle_mw / nominal_level, which never enter a
+  /// ModelCost. The mixed hash is precomputed like LayerCostKey's.
+  struct ModelCostKey {
+    std::vector<std::int64_t> layer_sig;  ///< 8 packed fields per layer.
+    int dataflow;
+    std::int64_t num_pes, sram_bytes;
+    double clock_ghz, noc_bytes_per_cycle, offchip_bytes_per_cycle;
+    std::vector<hw::DvfsOperatingPoint> levels;
+    std::size_t hash = 0;  ///< Set by make_model_key; excluded from equality.
+    bool operator==(const ModelCostKey& o) const;
+  };
+  struct ModelCostKeyHash {
+    std::size_t operator()(const ModelCostKey& key) const { return key.hash; }
+  };
+  static ModelCostKey make_model_key(const ModelGraph& graph,
+                                     const SubAccelConfig& accel);
+
+  /// One model-memo shard, same locking discipline as MemoShard (shared
+  /// lock + lossy hit counter on the hit path, unique lock on insert).
+  struct ModelMemoShard {
+    std::unordered_map<ModelCostKey,
+                       std::shared_ptr<const std::vector<ModelCost>>,
+                       ModelCostKeyHash>
+        map;
+    mutable std::shared_mutex mutex;
+    std::atomic<std::uint64_t> hits{0};
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+  };
+  static std::size_t model_shard_index(std::size_t hash);
+
   EnergyParams energy_;
   /// Thread-safe sharded LayerCost memo (see kMemoShards).
   mutable std::array<MemoShard, kMemoShards> memo_shards_;
+  /// Thread-safe sharded all-levels ModelCost memo (see kModelMemoShards).
+  mutable std::array<ModelMemoShard, kModelMemoShards> model_memo_shards_;
 };
 
 }  // namespace xrbench::costmodel

@@ -52,10 +52,15 @@ CostTable::CostTable(const hw::AcceleratorSystem& system,
     const std::size_t row = t * total_levels_;
     const std::size_t num_layers = task_layers_[t];
     for (std::size_t sa = 0; sa < num_sub_accels_; ++sa) {
+      // One memoized all-levels evaluation per (task, sub-accelerator): the
+      // batched kernel walks the layer list once for the whole DVFS ladder
+      // (bit-identical to per-level model_cost_at, test-enforced), and the
+      // model memo makes repeated designs across sweep points free.
+      const auto all = cost_model.cached_model_cost_all_levels(
+          graph, system.sub_accels[sa]);
       for (std::size_t lvl = 0; lvl < num_levels_[sa]; ++lvl) {
         const std::size_t cell = level_offset_[sa] + lvl;
-        const auto mc =
-            cost_model.model_cost_at(graph, system.sub_accels[sa], lvl);
+        const auto& mc = (*all)[lvl];
         costs_[row + cell] =
             ExecutionCost{mc.latency_ms, mc.energy_mj, mc.static_energy_mj,
                           mc.avg_utilization};

@@ -177,22 +177,27 @@ TEST(SweepEngine, BuildCostTablesMatchesDirectConstruction) {
 }
 
 TEST(SweepEngine, MemoIsSharedAcrossPoints) {
-  // Designs A (WS 4096) and J@8192 (WS 4096 + OS 4096) share an identical
-  // WS-4096 partition: the shared cost model must evaluate those layers
-  // once. We can't observe the memo through SweepEngine directly, so check
-  // the underlying property on AnalyticalCostModel.
+  // CostTable builds go through the model-level all-levels memo: repeated
+  // designs on one cost model must not re-walk any layer list. We can't
+  // observe the memo through SweepEngine directly, so check the underlying
+  // property on AnalyticalCostModel.
   costmodel::AnalyticalCostModel cm;
   const auto sys_a = hw::make_accelerator('A', 4096);
   const runtime::CostTable table_a(sys_a, cm);
-  const std::size_t after_first = cm.memo_size();
+  const std::size_t after_first = cm.model_memo_size();
   EXPECT_GT(after_first, 0u);
-  // Same partition again: no new entries.
+  const auto stats_first = cm.model_memo_stats();
+  EXPECT_EQ(stats_first.hits, 0u);
+  EXPECT_EQ(stats_first.inserts, after_first);
+  // Same design again: no new entries, every lookup hits.
   const runtime::CostTable table_a2(sys_a, cm);
-  EXPECT_EQ(cm.memo_size(), after_first);
-  // A different partition adds entries.
+  EXPECT_EQ(cm.model_memo_size(), after_first);
+  const auto stats_second = cm.model_memo_stats();
+  EXPECT_EQ(stats_second.hits, stats_first.misses);
+  // A different design adds entries.
   const auto sys_b = hw::make_accelerator('B', 4096);
   const runtime::CostTable table_b(sys_b, cm);
-  EXPECT_GT(cm.memo_size(), after_first);
+  EXPECT_GT(cm.model_memo_size(), after_first);
 }
 
 TEST(SweepEngine, EmptyPointListIsFine) {
