@@ -20,7 +20,14 @@
 //     model_cost_at walk (rung 1: cold_build_batched_ms vs
 //     cold_build_per_level_ms, batched_build_speedup);
 //   warm memo — the same builds again on the same cost model, now pure
-//     model-level memo hits (rung 2: warm_build_ms, model-memo hit rate).
+//     model-level memo hits (rung 2: warm_build_ms, model-memo hit rate);
+//   SIMD kernel — the same cold builds with the level-axis SIMD kernel
+//     forced off vs on (rung 3: cold_build_scalar_ms vs
+//     cold_build_simd_ms, simd_speedup);
+//   pinned sweep — the thread-scaling sweep re-run with XRBENCH_PIN=1
+//     (rung 4: pinned_jobs_per_sec_tN / pinned_speedup_tN, plus a
+//     `pinned` flag from SweepEngine::workers_pinned(); scores must stay
+//     byte-identical to the unpinned reference).
 //
 // XRBENCH_THREADS, when set, replaces the default {1, 2, 4, 8} sweep with
 // that single worker count (0 = inline serial baseline).
@@ -32,9 +39,11 @@
 
 #include "core/report.h"
 #include "core/sweep.h"
+#include "costmodel/cost_model.h"
 #include "hw/accelerator.h"
 #include "models/zoo.h"
 #include "runtime/cost_table.h"
+#include "util/affinity.h"
 #include "util/bench_json.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -83,7 +92,8 @@ int main() {
 
   const auto points = table5_points();
   const std::int64_t jobs = count_trial_jobs(points);
-  bench.set_runs(jobs * static_cast<std::int64_t>(thread_counts.size()));
+  // The suite runs once unpinned and once pinned per worker count.
+  bench.set_runs(2 * jobs * static_cast<std::int64_t>(thread_counts.size()));
 
   std::vector<core::BenchmarkOutcome> reference;
   double base_jobs_per_sec = 0.0;
@@ -133,6 +143,55 @@ int main() {
   bench.add_metric("trial_jobs", static_cast<double>(jobs));
   bench.add_metric("design_points", static_cast<double>(points.size()));
 
+#if !defined(_WIN32)
+  // --- Rung 4: the same thread-scaling sweep with worker pinning on. ------
+  // XRBENCH_PIN=1 round-robins workers onto fixed cores; it must move
+  // threads, never bytes — every pinned score is checked against the
+  // unpinned reference above.
+  {
+    const char* pin_saved = std::getenv("XRBENCH_PIN");
+    const std::string pin_saved_value = pin_saved != nullptr ? pin_saved : "";
+    ::setenv("XRBENCH_PIN", "1", 1);
+    bool all_pinned = util::affinity::supported();
+    for (std::size_t n : thread_counts) {
+      core::SweepEngine engine(n);
+      if (n > 0 && !engine.workers_pinned()) all_pinned = false;
+      const double t0 = bench.elapsed_ms();
+      auto outcomes = engine.run_suite_points(points);
+      const double sweep_ms = bench.elapsed_ms() - t0;
+      const double jobs_per_sec =
+          sweep_ms > 0.0 ? static_cast<double>(jobs) / (sweep_ms / 1000.0)
+                         : 0.0;
+      const std::string suffix = "_t" + std::to_string(n);
+      bench.add_metric("pinned_jobs_per_sec" + suffix, jobs_per_sec);
+      bench.add_metric("pinned_speedup" + suffix,
+                       base_jobs_per_sec > 0.0
+                           ? jobs_per_sec / base_jobs_per_sec
+                           : 0.0);
+      std::cerr << "pinned threads=" << n << "  sweep_ms=" << sweep_ms
+                << "  jobs_per_sec=" << jobs_per_sec
+                << "  workers_pinned=" << engine.workers_pinned() << "\n";
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        if (outcomes[p].score.overall != reference[p].score.overall ||
+            outcomes[p].score.realtime != reference[p].score.realtime ||
+            outcomes[p].score.energy != reference[p].score.energy ||
+            outcomes[p].score.qoe != reference[p].score.qoe) {
+          std::cerr << "DETERMINISM VIOLATION: pinned point "
+                    << points[p].label << " differs at " << n
+                    << " threads\n";
+          return 1;
+        }
+      }
+    }
+    bench.add_metric("pinned", all_pinned ? 1.0 : 0.0);
+    if (pin_saved != nullptr) {
+      ::setenv("XRBENCH_PIN", pin_saved_value.c_str(), 1);
+    } else {
+      ::unsetenv("XRBENCH_PIN");
+    }
+  }
+#endif
+
   // --- Rung 1/2 phases: cold batched build vs per-level walk, then warm. --
   // DVFS-laddered systems (5 levels each) are where the batched kernel
   // pays off: one layer walk instead of five per (task, sub-accelerator).
@@ -181,6 +240,37 @@ int main() {
   const double warm_ms = bench.elapsed_ms() - t_warm;
   const auto model_memo = build_cm.model_memo_stats();
 
+  // --- Rung 3: the SIMD level-axis kernel vs its scalar escape hatch. -----
+  // Same cold CostTable builds, kernel forced off then on, several reps
+  // each (fresh cost model per rep keeps every build cold); the ratio is
+  // the pure win of vectorizing the per-level finish tail.
+  const bool simd_saved = costmodel::simd_enabled();
+  constexpr int kSimdReps = 5;
+  double scalar_build_ms = 0.0;
+  double simd_build_ms = 0.0;
+  for (int rep = 0; rep < kSimdReps; ++rep) {
+    costmodel::set_simd_enabled(false);
+    costmodel::AnalyticalCostModel scalar_cm;
+    const double t_s = bench.elapsed_ms();
+    for (const auto& sys : ladder_systems) {
+      runtime::CostTable table(sys, scalar_cm);
+      if (table.num_sub_accels() == 0) return 1;  // keep the build observable
+    }
+    scalar_build_ms += bench.elapsed_ms() - t_s;
+
+    costmodel::set_simd_enabled(true);
+    costmodel::AnalyticalCostModel simd_cm;
+    const double t_v = bench.elapsed_ms();
+    for (const auto& sys : ladder_systems) {
+      runtime::CostTable table(sys, simd_cm);
+      if (table.num_sub_accels() == 0) return 1;
+    }
+    simd_build_ms += bench.elapsed_ms() - t_v;
+  }
+  costmodel::set_simd_enabled(simd_saved);
+  const double simd_speedup =
+      simd_build_ms > 0.0 ? scalar_build_ms / simd_build_ms : 0.0;
+
   bench.add_metric("cold_build_per_level_ms", per_level_ms);
   bench.add_metric("cold_build_batched_ms", cold_ms);
   bench.add_metric("batched_build_speedup",
@@ -191,12 +281,18 @@ int main() {
   bench.add_metric("model_memo_hit_rate", model_memo.hit_rate());
   bench.add_metric("model_memo_entries",
                    static_cast<double>(model_memo.entries));
+  bench.add_metric("cold_build_scalar_ms", scalar_build_ms);
+  bench.add_metric("cold_build_simd_ms", simd_build_ms);
+  bench.add_metric("simd_speedup", simd_speedup);
   std::cerr << "cold build: per-level=" << per_level_ms
             << "ms  batched=" << cold_ms << "ms  (speedup "
             << (cold_ms > 0.0 ? per_level_ms / cold_ms : 0.0)
             << "x, " << level_evals << " level evals)\n"
             << "warm rebuild: " << warm_ms << "ms  model_memo_hit_rate="
-            << model_memo.hit_rate() << "\n";
+            << model_memo.hit_rate() << "\n"
+            << "simd kernel: scalar=" << scalar_build_ms << "ms  simd="
+            << simd_build_ms << "ms  (" << kSimdReps
+            << " reps, speedup " << simd_speedup << "x)\n";
 
   // Deterministic report (stdout): one score table for the whole family.
   std::cout << "=== Sweep scaling: Table-5 family, full suite ===\n\n";

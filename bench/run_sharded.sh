@@ -11,6 +11,12 @@
 #                    on a multi-socket box use cores-per-socket so the
 #                    shard processes don't oversubscribe each other)
 #
+# Each shard process is launched with --pin and, when the tools are
+# available, under an explicit placement prefix: numactl binds shard i to
+# NUMA node i%nodes (CPU + memory — the one-shard-per-socket deployment)
+# on multi-node boxes, else taskset boxes it onto a contiguous CPU slice.
+# Placement never changes scores (the byte-diff below enforces it).
+#
 # Emits, under <build-dir>/bench_output:
 #   BENCH_cli_sweep.json                 unsharded reference
 #   BENCH_cli_sweep_shard<i>of<N>.json   one per shard process
@@ -42,10 +48,33 @@ rm -f bench_output/SHARD_cli_sweep_*.tsv \
 echo "== unsharded reference sweep"
 "$CLI" --sweep > bench_output/cli_sweep_unsharded.txt
 
-echo "== $NUM_SHARDS shard processes"
+# Placement prefix for shard i: numactl per NUMA node when the box has
+# several, else a contiguous taskset CPU slice when there are enough CPUs
+# to give every shard at least one. Prints nothing when neither applies —
+# the shard still runs (and --pin still round-robins its workers).
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+NUM_NODES=1
+if command -v numactl >/dev/null 2>&1; then
+  NUM_NODES="$(numactl --hardware 2>/dev/null | awk '/^available:/ {print $2}')"
+  NUM_NODES="${NUM_NODES:-1}"
+fi
+pin_prefix() {
+  local i="$1"
+  if command -v numactl >/dev/null 2>&1 && [[ "$NUM_NODES" -gt 1 ]]; then
+    local node=$((i % NUM_NODES))
+    echo "numactl --cpunodebind=$node --membind=$node"
+  elif command -v taskset >/dev/null 2>&1 && [[ "$NCPU" -ge "$NUM_SHARDS" ]]; then
+    local lo=$((i * NCPU / NUM_SHARDS))
+    local hi=$(((i + 1) * NCPU / NUM_SHARDS - 1))
+    echo "taskset -c $lo-$hi"
+  fi
+}
+
+echo "== $NUM_SHARDS shard processes (pinned)"
 pids=()
 for ((i = 0; i < NUM_SHARDS; ++i)); do
-  "$CLI" --sweep --shard "$i/$NUM_SHARDS" \
+  prefix="$(pin_prefix "$i")"
+  $prefix "$CLI" --sweep --pin --shard "$i/$NUM_SHARDS" \
     > "bench_output/cli_sweep_shard_${i}.log" 2>&1 &
   pids+=($!)
 done

@@ -56,6 +56,12 @@
 //                               per shard, no coordination needed
 //     --shard-dir <dir>         shard score-file directory (default
 //                               bench_output)
+//     --pin                     with --sweep: pin pool workers to CPUs
+//                               round-robin (and box a --shard process onto
+//                               its contiguous slice of the allowed CPUs
+//                               first). Placement only — scores are
+//                               byte-identical either way. No-op on
+//                               platforms without an affinity API
 //     --merge-shards <dir>      recombine a complete shard set from <dir>
 //                               into the full report (byte-identical to the
 //                               unsharded --sweep output) and merge the
@@ -72,6 +78,7 @@
 //   xrbench_cli --program-config examples/configs/handoff_program.ini
 //   xrbench_cli --hw-config my_chip.ini --csv scores.csv
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -89,6 +96,7 @@
 #include "fleet/fleet_workload.h"
 #include "hw/config_io.h"
 #include "runtime/policy_registry.h"
+#include "util/affinity.h"
 #include "util/bench_json.h"
 #include "util/table.h"
 #include "workload/scenario_io.h"
@@ -173,6 +181,32 @@ void print_sweep_table(std::ostream& os,
   }
   table.print(os);
   os << "\nSweep points: " << rows.size() << "\n";
+}
+
+/// --pin: deliberate CPU placement for the sweep. A --shard process is
+/// first boxed onto its contiguous slice of the allowed CPUs (shard i of N
+/// takes the i-th slice; worker threads spawned later inherit the mask — the
+/// one-shard-per-socket deployment), then XRBENCH_PIN=1 opts every
+/// ThreadPool constructed afterwards into round-robin worker→core pinning.
+/// Placement only: the determinism contract keeps scores byte-identical
+/// pinned or not, and everything degrades to a no-op without an affinity
+/// API.
+void apply_pinning(const std::optional<core::ShardSpec>& shard) {
+  if (shard && util::affinity::supported()) {
+    const auto cpus = util::affinity::allowed_cpus();
+    const std::size_t n = cpus.size();
+    if (n > 0) {
+      const std::size_t lo = shard->index * n / shard->count;
+      std::size_t hi = (shard->index + 1) * n / shard->count;
+      if (hi <= lo) hi = lo + 1;  // more shards than CPUs: slices overlap
+      util::affinity::restrict_to_cpus(
+          {cpus.begin() + static_cast<std::ptrdiff_t>(lo),
+           cpus.begin() + static_cast<std::ptrdiff_t>(hi)});
+    }
+  }
+#if !defined(_WIN32)
+  setenv("XRBENCH_PIN", "1", 1);
+#endif
 }
 
 int run_sweep(const core::HarnessOptions& opt,
@@ -269,6 +303,7 @@ int main(int argc, char** argv) {
   bool fleet_flag = false;
   std::optional<std::string> fleet_config;
   bool sweep_flag = false;
+  bool pin_flag = false;
   std::optional<core::ShardSpec> shard;
   std::string shard_dir = "bench_output";
   std::optional<std::string> merge_dir;
@@ -343,6 +378,7 @@ int main(int argc, char** argv) {
       else if (arg == "--timeline") timeline = true;
       else if (arg == "--report") report = true;
       else if (arg == "--sweep") sweep_flag = true;
+      else if (arg == "--pin") pin_flag = true;
       else if (arg == "--shard") shard = core::parse_shard(next());
       else if (arg == "--shard-dir") shard_dir = next();
       else if (arg == "--merge-shards") merge_dir = next();
@@ -357,9 +393,11 @@ int main(int argc, char** argv) {
   }
 
   if (shard && !sweep_flag) usage_error("--shard requires --sweep");
+  if (pin_flag && !sweep_flag) usage_error("--pin requires --sweep");
 
   try {
     if (merge_dir) return merge_shards(*merge_dir);
+    if (pin_flag) apply_pinning(shard);
     if (sweep_flag) return run_sweep(opt, shard, shard_dir);
 
     const auto system = hw_config ? hw::load_accelerator(*hw_config)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
@@ -44,7 +45,70 @@ std::size_t hash_double(double d) {
   return static_cast<std::size_t>(bits);
 }
 
+/// SIMD-kernel toggle; defaults from XRBENCH_SIMD at first use (function-
+/// local static so there is no global-init ordering hazard).
+std::atomic<bool>& simd_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("XRBENCH_SIMD");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }()};
+  return flag;
+}
+
 }  // namespace
+
+bool simd_enabled() { return simd_flag().load(std::memory_order_relaxed); }
+
+void set_simd_enabled(bool enabled) {
+  simd_flag().store(enabled, std::memory_order_relaxed);
+}
+
+void AllLevelsScratch::ensure(std::size_t levels, std::size_t layers) {
+  constexpr std::size_t kW = AnalyticalCostModel::kLevelLaneWidth;
+  num_levels = levels;
+  padded = (levels + kW - 1) / kW * kW;
+  // Parameter lanes: pad with benign 1.0 so the full-width kernel never
+  // divides by zero (pad outputs are computed but never read back).
+  const auto param_lane = [this](std::vector<double>& v) {
+    if (v.size() < padded) v.resize(padded);
+    for (std::size_t l = num_levels; l < padded; ++l) v[l] = 1.0;
+  };
+  param_lane(clock_ghz);
+  param_lane(noc_bpc);
+  param_lane(offchip_bpc);
+  param_lane(vr);
+  // Output lanes: pad with 0.0 so the scalar escape path (which only writes
+  // the real levels) feeds zeros into the full-width accumulator loops.
+  const auto out_lane = [this](std::vector<double>& v) {
+    if (v.size() < padded) v.resize(padded);
+    for (std::size_t l = num_levels; l < padded; ++l) v[l] = 0.0;
+  };
+  out_lane(noc_cycles);
+  out_lane(dram_cycles);
+  out_lane(total_cycles);
+  out_lane(latency_ms);
+  out_lane(utilization);
+  out_lane(static_mj);
+  out_lane(energy_mj);
+  const auto acc_lane = [this](std::vector<double>& v) {
+    if (v.size() < padded) v.resize(padded);
+    std::fill(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(padded), 0.0);
+  };
+  acc_lane(acc_latency_ms);
+  acc_lane(acc_energy_mj);
+  acc_lane(acc_static_mj);
+  acc_lane(acc_mac_weighted_util);
+  if (result.size() != levels) result.resize(levels);
+  for (auto& mc : result) {
+    mc.latency_ms = 0.0;
+    mc.energy_mj = 0.0;
+    mc.static_energy_mj = 0.0;
+    mc.avg_utilization = 0.0;
+    mc.dram_traffic_bytes = 0.0;
+    mc.layers.clear();  // keeps capacity: zero-alloc once warmed
+    mc.layers.reserve(layers);
+  }
+}
 
 const char* dataflow_name(Dataflow d) {
   switch (d) {
@@ -376,6 +440,92 @@ LayerCost AnalyticalCostModel::finish_layer_cost(
   return cost;
 }
 
+namespace {
+
+// The lane math lives in a free function because the vectorizer only
+// honours `restrict` on function PARAMETERS — on locals initialised from
+// vector::data() the 11 streams would need 49 runtime alias checks, far
+// past the versioning cap, and the loop stays scalar.
+//
+// One flat unit-stride loop over the level axis: straight-line lane math
+// and selects instead of branches — the shape the loop vectorizer
+// if-converts into full-width vector code (kLevelLaneWidth doubles per
+// 256-bit step, half that on 128-bit SIMD, plus a scalar epilogue for the
+// tail lanes; auto-vec verified in bench_sweep_scaling). The trip count is
+// the exact level count, not the padded width — the divides dominate this
+// loop and SIMD divide units gain nothing from padding the axis with
+// benign lanes. Every lane replays finish_layer_cost's exact FP op
+// sequence, then model_cost_at's subtract-then-scale voltage pass with a
+// per-lane select — applying the transform at vr == 1 would NOT be bit-neutral
+// ((e - s) + s != e in FP), hence the select keeps the untransformed
+// values on unit-voltage lanes.
+void finish_levels_lanes(std::size_t n, double compute, double noc_bytes,
+                         double dram_bytes, double macs, double pes,
+                         double pe_mw, double dynamic_mj,
+                         const double* __restrict clock,
+                         const double* __restrict noc_bpc,
+                         const double* __restrict off_bpc,
+                         const double* __restrict vr,
+                         double* __restrict out_noc,
+                         double* __restrict out_dram,
+                         double* __restrict out_total,
+                         double* __restrict out_lat,
+                         double* __restrict out_util,
+                         double* __restrict out_stat,
+                         double* __restrict out_en) {
+  for (std::size_t l = 0; l < n; ++l) {
+    const double noc_c = noc_bytes / noc_bpc[l];
+    const double dram_c = dram_bytes / off_bpc[l];
+    double total = compute < noc_c ? noc_c : compute;
+    total = total < dram_c ? dram_c : total;
+    total += AnalyticalCostModel::kLayerOverheadCycles;
+    const double lat = total / (clock[l] * 1e6);
+    double util = macs / (total * pes);
+    util = 0.0 < util ? util : 0.0;  // std::max(0.0, util)
+    util = util < 1.0 ? util : 1.0;  // std::min(1.0, util)
+    const double stat = pe_mw * lat * 1e-3;
+    const double en = dynamic_mj + stat;
+    const double v = vr[l];
+    const double dyn = en - stat;
+    const double stat_v = stat * v;
+    const double en_v = dyn * v * v + stat_v;
+    const bool scaled = v != 1.0;
+    out_noc[l] = noc_c;
+    out_dram[l] = dram_c;
+    out_total[l] = total;
+    out_lat[l] = lat;
+    out_util[l] = util;
+    out_stat[l] = scaled ? stat_v : stat;
+    out_en[l] = scaled ? en_v : en;
+  }
+}
+
+}  // namespace
+
+void AnalyticalCostModel::finish_layer_levels(const LayerCostCore& core,
+                                              std::int64_t num_pes,
+                                              AllLevelsScratch& s) const {
+  const double pes = static_cast<double>(num_pes);
+  // Loop-invariant LEADING subexpressions of the scalar tail, hoisted.
+  // Each is exactly the product the scalar path evaluates first in its
+  // left-associative chain, so factoring it out is bit-neutral; hoisting
+  // anything else (e.g. vr^2, or 1/bandwidth to turn the divides into
+  // multiplies) would reassociate and break the bit-identity contract.
+  const double pe_mw = energy_.static_mw_per_pe * pes;
+  const double dynamic_mj = core.dynamic_pj * 1e-9;
+  finish_levels_lanes(s.num_levels, core.compute_cycles, core.noc_bytes,
+                      core.dram_traffic_bytes, core.macs, pes, pe_mw,
+                      dynamic_mj, s.clock_ghz.data(), s.noc_bpc.data(),
+                      s.offchip_bpc.data(), s.vr.data(), s.noc_cycles.data(),
+                      s.dram_cycles.data(), s.total_cycles.data(),
+                      s.latency_ms.data(), s.utilization.data(),
+                      s.static_mj.data(), s.energy_mj.data());
+  if (core.vector_op) {
+    std::fill(s.utilization.begin(), s.utilization.begin() + s.num_levels,
+              0.0);
+  }
+}
+
 double AnalyticalCostModel::dram_traffic(const Layer& layer,
                                          const SubAccelConfig& accel) const {
   const auto w = static_cast<double>(layer.weight_bytes());
@@ -505,8 +655,9 @@ ModelCost AnalyticalCostModel::model_cost_at(const ModelGraph& graph,
   return mc;
 }
 
-std::vector<ModelCost> AnalyticalCostModel::model_cost_all_levels(
-    const ModelGraph& graph, const SubAccelConfig& accel) const {
+void AnalyticalCostModel::compute_all_levels(const ModelGraph& graph,
+                                             const SubAccelConfig& accel,
+                                             AllLevelsScratch& s) const {
   if (!accel.valid()) {
     throw std::invalid_argument(
         "model_cost_all_levels: invalid accelerator config '" + accel.id +
@@ -514,50 +665,45 @@ std::vector<ModelCost> AnalyticalCostModel::model_cost_all_levels(
   }
   const hw::DvfsState& dvfs = accel.dvfs;
   const std::size_t num_levels = dvfs.num_levels();
+  s.ensure(num_levels, graph.num_layers());
 
-  // Per-level finish parameters, hoisted out of the layer walk. The scaled
-  // bandwidths are computed exactly as model_cost_at computes them
-  // (nominal * ratio, THEN divide the byte count by the product) — dividing
-  // by nominal and then by ratio is a different FP expression, and the
-  // bit-identity contract with the per-level path would not survive it.
-  struct LevelParams {
-    double clock_ghz = 0.0;
-    double noc_bpc = 0.0;
-    double offchip_bpc = 0.0;
-    double vr = 1.0;
-  };
-  std::vector<LevelParams> params(num_levels);
+  // Per-level finish parameters, hoisted out of the layer walk into the
+  // scratch's SoA lanes. The scaled bandwidths are computed exactly as
+  // model_cost_at computes them (nominal * ratio, THEN divide the byte
+  // count by the product) — dividing by nominal and then by ratio is a
+  // different FP expression, and the bit-identity contract with the
+  // per-level path would not survive it.
   for (std::size_t l = 0; l < num_levels; ++l) {
-    LevelParams& p = params[l];
     if (dvfs.levels.empty()) {
-      p.clock_ghz = accel.clock_ghz;
-      p.noc_bpc = accel.noc_bytes_per_cycle;
-      p.offchip_bpc = accel.offchip_bytes_per_cycle;
-      p.vr = 1.0;
+      s.clock_ghz[l] = accel.clock_ghz;
+      s.noc_bpc[l] = accel.noc_bytes_per_cycle;
+      s.offchip_bpc[l] = accel.offchip_bytes_per_cycle;
+      s.vr[l] = 1.0;
       continue;
     }
     const hw::DvfsOperatingPoint& op = dvfs.levels[l];
     if (op.freq_ghz != accel.clock_ghz) {
       const double ratio = accel.clock_ghz / op.freq_ghz;
-      p.clock_ghz = op.freq_ghz;
-      p.noc_bpc = accel.noc_bytes_per_cycle * ratio;
-      p.offchip_bpc = accel.offchip_bytes_per_cycle * ratio;
+      s.clock_ghz[l] = op.freq_ghz;
+      s.noc_bpc[l] = accel.noc_bytes_per_cycle * ratio;
+      s.offchip_bpc[l] = accel.offchip_bytes_per_cycle * ratio;
     } else {
-      p.clock_ghz = accel.clock_ghz;
-      p.noc_bpc = accel.noc_bytes_per_cycle;
-      p.offchip_bpc = accel.offchip_bytes_per_cycle;
+      s.clock_ghz[l] = accel.clock_ghz;
+      s.noc_bpc[l] = accel.noc_bytes_per_cycle;
+      s.offchip_bpc[l] = accel.offchip_bytes_per_cycle;
     }
-    p.vr = op.voltage_v / hw::kNominalVoltageV;
+    s.vr[l] = op.voltage_v / hw::kNominalVoltageV;
   }
 
-  std::vector<ModelCost> result(num_levels);
-  std::vector<double> mac_weighted_util(num_levels, 0.0);
   double total_macs = 0.0;
-  for (auto& mc : result) mc.layers.reserve(graph.num_layers());
+  // DRAM traffic is level-invariant, so every level accumulates the exact
+  // same addend sequence — one scalar accumulator stands in for all lanes
+  // bit-identically.
+  double acc_dram = 0.0;
 
   // ONE walk over the layer list: the level-invariant core (mapping, cycle
-  // counts, traffic, switching energy) is computed once per layer, and only
-  // the per-level tail runs in the inner loop.
+  // counts, traffic, switching energy) is computed once per layer, and the
+  // per-level tail runs across all level lanes at once.
   for (const auto& layer : graph.layers()) {
     if (!layer.valid()) {
       throw std::invalid_argument("model_cost_all_levels: invalid layer '" +
@@ -565,32 +711,98 @@ std::vector<ModelCost> AnalyticalCostModel::model_cost_all_levels(
     }
     const LayerCostCore core = layer_core(layer, accel);
     if (!core.vector_op) total_macs += core.macs;
-    for (std::size_t l = 0; l < num_levels; ++l) {
-      const LevelParams& p = params[l];
-      LayerCost lc = finish_layer_cost(core, p.clock_ghz, p.noc_bpc,
-                                       p.offchip_bpc, accel.num_pes);
-      ModelCost& mc = result[l];
-      mc.latency_ms += lc.latency_ms;
-      if (p.vr != 1.0) {
-        // Same transform — and the same subtract-then-scale sequence — as
-        // model_cost_at's voltage pass; (d + s) - s is not exactly d in FP,
-        // so re-deriving dynamic energy from core.dynamic_pj would diverge.
-        const double dynamic_mj = lc.energy_mj - lc.static_energy_mj;
-        lc.static_energy_mj *= p.vr;
-        lc.energy_mj = dynamic_mj * p.vr * p.vr + lc.static_energy_mj;
+    acc_dram += core.dram_traffic_bytes;
+
+    finish_layer_levels(core, accel.num_pes, s);
+
+    // Accumulate the per-level sums as lane adds, then scatter the lanes
+    // into the AoS per-level layer lists. Each accumulator sees the same
+    // addends in the same layer order as the per-level walk, so the sums
+    // are bit-identical.
+    {
+      const double* __restrict lat = s.latency_ms.data();
+      const double* __restrict en = s.energy_mj.data();
+      const double* __restrict stat = s.static_mj.data();
+      const double* __restrict util = s.utilization.data();
+      double* __restrict acc_lat = s.acc_latency_ms.data();
+      double* __restrict acc_en = s.acc_energy_mj.data();
+      double* __restrict acc_stat = s.acc_static_mj.data();
+      double* __restrict acc_util = s.acc_mac_weighted_util.data();
+      const double macs = core.macs;
+      const std::size_t n = s.num_levels;
+      for (std::size_t l = 0; l < n; ++l) {
+        acc_lat[l] += lat[l];
+        acc_en[l] += en[l];
+        acc_stat[l] += stat[l];
       }
-      mc.energy_mj += lc.energy_mj;
-      mc.static_energy_mj += lc.static_energy_mj;
-      mc.dram_traffic_bytes += lc.dram_traffic_bytes;
-      if (!core.vector_op) mac_weighted_util[l] += lc.utilization * core.macs;
-      mc.layers.push_back(std::move(lc));
+      if (!core.vector_op) {
+        for (std::size_t l = 0; l < n; ++l) acc_util[l] += util[l] * macs;
+      }
+    }
+    for (std::size_t l = 0; l < num_levels; ++l) {
+      LayerCost lc;
+      lc.mapping = core.mapping;
+      lc.compute_cycles = core.compute_cycles;
+      lc.noc_cycles = s.noc_cycles[l];
+      lc.dram_cycles = s.dram_cycles[l];
+      lc.total_cycles = s.total_cycles[l];
+      lc.latency_ms = s.latency_ms[l];
+      lc.energy_mj = s.energy_mj[l];
+      lc.static_energy_mj = s.static_mj[l];
+      lc.utilization = s.utilization[l];
+      lc.sram_traffic_bytes = core.sram_traffic_bytes;
+      lc.dram_traffic_bytes = core.dram_traffic_bytes;
+      s.result[l].layers.push_back(lc);
     }
   }
+
   for (std::size_t l = 0; l < num_levels; ++l) {
-    result[l].avg_utilization =
-        total_macs > 0 ? mac_weighted_util[l] / total_macs : 0.0;
+    ModelCost& mc = s.result[l];
+    mc.latency_ms = s.acc_latency_ms[l];
+    mc.energy_mj = s.acc_energy_mj[l];
+    mc.static_energy_mj = s.acc_static_mj[l];
+    mc.dram_traffic_bytes = acc_dram;
+    mc.avg_utilization =
+        total_macs > 0 ? s.acc_mac_weighted_util[l] / total_macs : 0.0;
+  }
+}
+
+std::vector<ModelCost> AnalyticalCostModel::compute_all_levels_scalar(
+    const ModelGraph& graph, const SubAccelConfig& accel) const {
+  if (!accel.valid()) {
+    throw std::invalid_argument(
+        "model_cost_all_levels: invalid accelerator config '" + accel.id +
+        "'");
+  }
+  const std::size_t num_levels = accel.dvfs.num_levels();
+  std::vector<ModelCost> result;
+  result.reserve(num_levels);
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    result.push_back(model_cost_at(graph, accel, l));
   }
   return result;
+}
+
+std::vector<ModelCost> AnalyticalCostModel::model_cost_all_levels(
+    const ModelGraph& graph, const SubAccelConfig& accel) const {
+  if (!simd_enabled()) return compute_all_levels_scalar(graph, accel);
+  AllLevelsScratch scratch;
+  compute_all_levels(graph, accel, scratch);
+  return std::move(scratch.result);
+}
+
+const std::vector<ModelCost>& AnalyticalCostModel::model_cost_all_levels(
+    const ModelGraph& graph, const SubAccelConfig& accel,
+    AllLevelsScratch& scratch) const {
+  if (!simd_enabled()) {
+    // Escape hatch: run the scalar path and park its result in the scratch
+    // so the reference-returning contract holds (allocates — the
+    // zero-allocation steady state is a property of the SIMD path).
+    scratch.result = compute_all_levels_scalar(graph, accel);
+    return scratch.result;
+  }
+  compute_all_levels(graph, accel, scratch);
+  return scratch.result;
 }
 
 bool AnalyticalCostModel::ModelCostKey::operator==(
@@ -663,7 +875,8 @@ std::size_t AnalyticalCostModel::model_shard_index(std::size_t hash) {
 
 std::shared_ptr<const std::vector<ModelCost>>
 AnalyticalCostModel::cached_model_cost_all_levels(
-    const ModelGraph& graph, const SubAccelConfig& accel) const {
+    const ModelGraph& graph, const SubAccelConfig& accel,
+    AllLevelsScratch* scratch) const {
   ModelCostKey key = make_model_key(graph, accel);
   ModelMemoShard& shard = model_memo_shards_[model_shard_index(key.hash)];
   {
@@ -679,9 +892,14 @@ AnalyticalCostModel::cached_model_cost_all_levels(
   }
   // Compute outside the lock; a racing duplicate evaluation is rare (the
   // key space is per model, not per layer) and both threads produce the
-  // same value.
-  auto value = std::make_shared<const std::vector<ModelCost>>(
-      model_cost_all_levels(graph, accel));
+  // same value. The cached copy must own its storage, so the scratch path
+  // copies scratch.result into the shared vector — still one allocation
+  // fewer than the scratchless path, and only on a miss.
+  auto value = scratch != nullptr
+                   ? std::make_shared<const std::vector<ModelCost>>(
+                         model_cost_all_levels(graph, accel, *scratch))
+                   : std::make_shared<const std::vector<ModelCost>>(
+                         model_cost_all_levels(graph, accel));
   {
     std::unique_lock lock(shard.mutex);
     ++shard.misses;

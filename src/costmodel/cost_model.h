@@ -99,6 +99,69 @@ struct ModelCost {
   std::vector<LayerCost> layers;
 };
 
+/// Runtime toggle for the SIMD level-axis kernel inside
+/// model_cost_all_levels. Defaults from the XRBENCH_SIMD environment
+/// variable at first use (unset or "1" = on, exactly "0" = off — the CI
+/// byte-diff escape hatch); settable in-process so benches can A/B both
+/// paths in one run. The two paths are bit-identical (test-enforced), so
+/// the toggle never changes results — only which instruction sequence
+/// produces them.
+bool simd_enabled();
+void set_simd_enabled(bool enabled);
+
+/// Reusable scratch for model_cost_all_levels: every per-call allocation of
+/// the level-batched kernel (the SoA level-parameter lanes, the per-layer
+/// per-level lanes the SIMD kernel writes, the accumulator lanes, and the
+/// result vector with its per-level layer lists) hoisted into a
+/// caller-owned object. A CostTable build loop owns ONE of these across all
+/// (task x sub-accelerator x design) builds; after the first call at the
+/// largest (levels, layers) shape, subsequent calls perform zero heap
+/// allocations (test-enforced with a counting allocator probe). The object
+/// is opaque — only AnalyticalCostModel reads or writes it — and
+/// single-threaded: share one per thread, never across threads.
+class AllLevelsScratch {
+ public:
+  AllLevelsScratch() = default;
+  AllLevelsScratch(const AllLevelsScratch&) = delete;
+  AllLevelsScratch& operator=(const AllLevelsScratch&) = delete;
+
+ private:
+  friend class AnalyticalCostModel;
+
+  /// Sizes every lane for `num_levels` levels (padded to the vector width)
+  /// and every result layer list for `num_layers`, retaining capacity from
+  /// prior calls; resets accumulators and clears the result in place.
+  void ensure(std::size_t num_levels, std::size_t num_layers);
+
+  std::size_t num_levels = 0;
+  std::size_t padded = 0;  ///< num_levels rounded up to the lane width.
+
+  /// SoA per-level finish parameters (pad lanes hold benign 1.0 values so
+  /// the full-width kernel never divides by zero).
+  std::vector<double> clock_ghz;
+  std::vector<double> noc_bpc;
+  std::vector<double> offchip_bpc;
+  std::vector<double> vr;  ///< voltage_v / hw::kNominalVoltageV per level.
+
+  /// Per-layer per-level outputs of the finish kernel, scattered into the
+  /// AoS LayerCost list afterwards.
+  std::vector<double> noc_cycles;
+  std::vector<double> dram_cycles;
+  std::vector<double> total_cycles;
+  std::vector<double> latency_ms;
+  std::vector<double> utilization;
+  std::vector<double> static_mj;
+  std::vector<double> energy_mj;
+
+  /// Per-level accumulators over the layer walk.
+  std::vector<double> acc_latency_ms;
+  std::vector<double> acc_energy_mj;
+  std::vector<double> acc_static_mj;
+  std::vector<double> acc_mac_weighted_util;
+
+  std::vector<ModelCost> result;
+};
+
 /// MAESTRO-style analytical cost model.
 ///
 /// For each (layer, dataflow, PE count) it derives a greedy spatial mapping,
@@ -150,6 +213,17 @@ class AnalyticalCostModel {
   std::vector<ModelCost> model_cost_all_levels(
       const ModelGraph& graph, const SubAccelConfig& accel) const;
 
+  /// Scratch-reusing variant of model_cost_all_levels: writes the result
+  /// into `scratch` and returns a reference into it (valid until the next
+  /// call with the same scratch). Bit-identical to the value-returning
+  /// overload; the only difference is that a warmed scratch makes the call
+  /// allocation-free. The per-level tail runs through the SIMD
+  /// finish_layer_levels kernel when simd_enabled(), the original scalar
+  /// finish_layer_cost loop otherwise — both produce identical bits.
+  const std::vector<ModelCost>& model_cost_all_levels(
+      const ModelGraph& graph, const SubAccelConfig& accel,
+      AllLevelsScratch& scratch) const;
+
   /// Memoized model_cost_all_levels: a sharded (graph signature x sub-accel
   /// config x all-levels) cache ABOVE the per-layer memo, so repeated
   /// (model, sub-accelerator) pairs across sweep points skip the layer walk
@@ -157,8 +231,11 @@ class AnalyticalCostModel {
   /// concurrent builds of identical designs read one cached copy. Keys
   /// compare the full layer-dimension list, never just a hash, so a
   /// collision can not silently alias two models.
+  /// `scratch`, when given, is reused for the layer walk on a memo miss
+  /// (hits never touch it) — the CostTable build loop passes its own.
   std::shared_ptr<const std::vector<ModelCost>> cached_model_cost_all_levels(
-      const ModelGraph& graph, const SubAccelConfig& accel) const;
+      const ModelGraph& graph, const SubAccelConfig& accel,
+      AllLevelsScratch* scratch = nullptr) const;
 
   /// Idle power (mW) of `accel` parked at DVFS level `dvfs_level`:
   /// DvfsState::idle_mw scaled by V/Vnom at that level (leakage ~ V, same
@@ -176,6 +253,12 @@ class AnalyticalCostModel {
 
   /// Vector ops run on the PE array as SIMD lanes at reduced efficiency.
   static constexpr double kVectorOpEfficiency = 0.25;
+
+  /// Lane width the level axis is padded to in AllLevelsScratch. Four
+  /// doubles = one AVX2 register; on 128-bit SIMD the fixed-width inner
+  /// loops become two registers, and the padded tail means neither needs an
+  /// epilogue.
+  static constexpr std::size_t kLevelLaneWidth = 4;
 
   /// Entries in the (layer signature, sub-accel config) memo. Sweeps over
   /// PE counts / designs re-evaluate many identical layers (the same conv
@@ -264,6 +347,30 @@ class AnalyticalCostModel {
                               double noc_bytes_per_cycle,
                               double offchip_bytes_per_cycle,
                               std::int64_t num_pes) const;
+
+  /// SIMD level-axis tail: applies finish_layer_cost's expression sequence
+  /// — plus the voltage pass — to one LayerCostCore across every (padded)
+  /// level lane of `scratch` at once, writing the per-level output lanes.
+  /// Each lane performs the exact FP op sequence of the scalar path
+  /// (including the vr != 1.0 select preserving unscaled values), so the
+  /// results are bit-identical, not tolerance-equal.
+  void finish_layer_levels(const LayerCostCore& core, std::int64_t num_pes,
+                           AllLevelsScratch& scratch) const;
+
+  /// Shared body of both model_cost_all_levels overloads on the SIMD path:
+  /// the single layer walk with the vectorized per-level tail, writing into
+  /// `scratch`.
+  void compute_all_levels(const ModelGraph& graph,
+                          const SubAccelConfig& accel,
+                          AllLevelsScratch& scratch) const;
+
+  /// The XRBENCH_SIMD=0 escape hatch: the scalar level axis — one full
+  /// model_cost_at walk per level, no level batching, no SoA lanes, no
+  /// scratch. Bit-identical to the SIMD path (the kernel replays
+  /// model_cost_at's exact FP op sequence per lane); the contrast between
+  /// the two is what bench_sweep_scaling's simd_speedup measures.
+  std::vector<ModelCost> compute_all_levels_scalar(
+      const ModelGraph& graph, const SubAccelConfig& accel) const;
 
   /// DRAM traffic with SRAM-capacity-driven re-fetch (choose the cheaper of
   /// re-streaming inputs per weight tile or weights per input tile).

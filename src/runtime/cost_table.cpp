@@ -46,6 +46,10 @@ CostTable::CostTable(const hw::AcceleratorSystem& system,
   lat_prefix_.resize(prefix_entries);
   energy_prefix_.resize(prefix_entries);
   static_prefix_.resize(prefix_entries);
+  // One scratch for the whole build loop: after the first (task, sub-accel)
+  // evaluation at the largest shape, every later model-memo miss reuses its
+  // lanes and layer lists instead of re-allocating them per build.
+  costmodel::AllLevelsScratch scratch;
   for (models::TaskId task : models::all_tasks()) {
     const auto& graph = models::model_graph(task);
     const std::size_t t = models::task_index(task);
@@ -57,7 +61,7 @@ CostTable::CostTable(const hw::AcceleratorSystem& system,
       // (bit-identical to per-level model_cost_at, test-enforced), and the
       // model memo makes repeated designs across sweep points free.
       const auto all = cost_model.cached_model_cost_all_levels(
-          graph, system.sub_accels[sa]);
+          graph, system.sub_accels[sa], &scratch);
       for (std::size_t lvl = 0; lvl < num_levels_[sa]; ++lvl) {
         const std::size_t cell = level_offset_[sa] + lvl;
         const auto& mc = (*all)[lvl];

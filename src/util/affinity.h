@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// CPU/NUMA affinity control for sweep workers and shard processes.
+///
+/// Every function degrades to a documented no-op on platforms without an
+/// affinity API (supported() returns false there), so callers never need
+/// their own platform guards — a pinned pool on an unsupported platform is
+/// simply an unpinned pool. On Linux the implementation respects an outer
+/// taskset/numactl restriction: "all CPUs" means the CPUs in the calling
+/// thread's current affinity mask, not the machine's.
+namespace xrbench::util::affinity {
+
+/// True when thread CPU pinning is implemented for this platform (Linux).
+bool supported();
+
+/// CPUs the calling thread may run on, ascending (the affinity mask on
+/// Linux, so an outer `taskset -c 2-3` yields {2, 3}). Empty when
+/// unsupported.
+std::vector<int> allowed_cpus();
+
+/// Number of CPUs the calling thread may run on; never less than 1 (the
+/// unsupported-platform fallback reports 1 rather than guessing).
+std::size_t cpu_count();
+
+/// Pins the CALLING thread to allowed_cpus()[slot % cpu_count()] — the
+/// round-robin worker→core rule. Returns true when the pin took effect,
+/// false (leaving scheduling untouched) when unsupported or the syscall
+/// fails.
+bool pin_current_thread(std::size_t slot);
+
+/// Restricts the calling thread's CPU mask to `cpus`. Threads spawned
+/// afterwards inherit the mask, so calling this before constructing a
+/// worker pool boxes the whole process onto a CPU slice (the shard-mode
+/// deployment: shard i of N takes the i-th slice of the machine). False
+/// when unsupported, `cpus` is empty, or the syscall fails.
+bool restrict_to_cpus(const std::vector<int>& cpus);
+
+/// NUMA node of `cpu` from sysfs (/sys/devices/system/cpu/cpu<N>/node<K>);
+/// -1 when the node is unknown, the CPU id is invalid, or the platform has
+/// no sysfs.
+int numa_node_of(int cpu);
+
+}  // namespace xrbench::util::affinity

@@ -1,0 +1,248 @@
+// The SIMD level-axis kernel's contracts: the vectorized per-level tail of
+// model_cost_all_levels must be BIT-identical to the scalar path (layer by
+// layer, across the model zoo, the default five-level ladder AND awkward
+// level counts that exercise the padded tail), scratch reuse must be
+// invisible to results, and a warmed scratch must make the kernel
+// allocation-free (counting-probe-enforced).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "hw/accelerator.h"
+#include "hw/dvfs.h"
+#include "models/zoo.h"
+#include "runtime/cost_table.h"
+
+// Global allocation probe for the zero-allocation steady-state assertion.
+// Counts every operator-new call in the process; the test reads the counter
+// around a single kernel call. Plain malloc-backed replacements — the
+// kernel's containers (vector<double>, vector<ModelCost>, vector<LayerCost>)
+// all allocate through the unaligned throwing operator new.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace xrbench {
+namespace {
+
+/// RAII save/restore of the process-wide SIMD toggle so tests can flip it
+/// without leaking state into other tests.
+class SimdGuard {
+ public:
+  SimdGuard() : saved_(costmodel::simd_enabled()) {}
+  ~SimdGuard() { costmodel::set_simd_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void expect_layer_cost_eq(const costmodel::LayerCost& a,
+                          const costmodel::LayerCost& b) {
+  EXPECT_EQ(a.compute_cycles, b.compute_cycles);
+  EXPECT_EQ(a.noc_cycles, b.noc_cycles);
+  EXPECT_EQ(a.dram_cycles, b.dram_cycles);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_EQ(a.energy_mj, b.energy_mj);
+  EXPECT_EQ(a.static_energy_mj, b.static_energy_mj);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.sram_traffic_bytes, b.sram_traffic_bytes);
+  EXPECT_EQ(a.dram_traffic_bytes, b.dram_traffic_bytes);
+}
+
+void expect_model_cost_eq(const costmodel::ModelCost& a,
+                          const costmodel::ModelCost& b) {
+  EXPECT_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_EQ(a.energy_mj, b.energy_mj);
+  EXPECT_EQ(a.static_energy_mj, b.static_energy_mj);
+  EXPECT_EQ(a.avg_utilization, b.avg_utilization);
+  EXPECT_EQ(a.dram_traffic_bytes, b.dram_traffic_bytes);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    expect_layer_cost_eq(a.layers[i], b.layers[i]);
+  }
+}
+
+/// A strictly-ascending k-point ladder anchored at `nominal_clock` (the
+/// 1.0x multiplier is always the last, nominal, point) with the default
+/// ladder's near-linear V/f relation. Level counts that are not multiples
+/// of kLevelLaneWidth exercise the SIMD kernel's padded tail lanes.
+hw::DvfsState ladder_with_levels(std::size_t k, double nominal_clock) {
+  hw::DvfsState dvfs;
+  dvfs.levels.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double mult = 1.0 - 0.1 * static_cast<double>(k - 1 - i);
+    hw::DvfsOperatingPoint op;
+    op.freq_ghz = nominal_clock * mult;
+    op.voltage_v = hw::kNominalVoltageV * (0.55 + 0.45 * mult);
+    dvfs.levels.push_back(op);
+  }
+  dvfs.nominal_level = k - 1;
+  return dvfs;
+}
+
+costmodel::SubAccelConfig accel_with_levels(costmodel::Dataflow df,
+                                            std::int64_t pes, std::size_t k) {
+  costmodel::SubAccelConfig a;
+  a.id = "simd-test";
+  a.dataflow = df;
+  a.num_pes = pes;
+  a.dvfs = ladder_with_levels(k, a.clock_ghz);
+  return a;
+}
+
+TEST(SimdLevels, ToggleRoundTrips) {
+  SimdGuard guard;
+  costmodel::set_simd_enabled(true);
+  EXPECT_TRUE(costmodel::simd_enabled());
+  costmodel::set_simd_enabled(false);
+  EXPECT_FALSE(costmodel::simd_enabled());
+}
+
+TEST(SimdLevels, BitIdenticalToScalarAcrossZooAndDefaultLadder) {
+  // The tentpole contract on the real five-level ladder: flipping the
+  // toggle changes the instruction sequence, never a single result bit.
+  SimdGuard guard;
+  costmodel::AnalyticalCostModel cm;
+  const auto sys = hw::with_default_dvfs(hw::make_accelerator('J', 8192));
+  for (const auto& sa : sys.sub_accels) {
+    ASSERT_GT(sa.dvfs.levels.size(), 1u);
+    for (models::TaskId t : models::all_tasks()) {
+      SCOPED_TRACE("task " + std::string(models::task_code(t)) + " on " +
+                   sa.id);
+      const auto& graph = models::model_graph(t);
+      costmodel::set_simd_enabled(false);
+      const auto scalar = cm.model_cost_all_levels(graph, sa);
+      costmodel::set_simd_enabled(true);
+      const auto simd = cm.model_cost_all_levels(graph, sa);
+      ASSERT_EQ(simd.size(), scalar.size());
+      for (std::size_t lvl = 0; lvl < simd.size(); ++lvl) {
+        SCOPED_TRACE("level " + std::to_string(lvl));
+        expect_model_cost_eq(simd[lvl], scalar[lvl]);
+      }
+    }
+  }
+}
+
+TEST(SimdLevels, BitIdenticalOnAwkwardLevelCounts) {
+  // 1, 2, 3, 6 and 7 levels are not multiples of the width-4 lanes: the
+  // kernel runs with 3, 2, 1, 2 and 1 padded tail lanes respectively. Both
+  // paths must agree with each other AND with the per-level ground truth.
+  SimdGuard guard;
+  costmodel::AnalyticalCostModel cm;
+  const auto& graph = models::model_graph(models::TaskId::kHT);
+  for (std::size_t k : {1u, 2u, 3u, 6u, 7u}) {
+    SCOPED_TRACE("levels " + std::to_string(k));
+    const auto a = accel_with_levels(costmodel::Dataflow::kWS, 4096, k);
+    ASSERT_TRUE(a.valid());
+    costmodel::set_simd_enabled(false);
+    const auto scalar = cm.model_cost_all_levels(graph, a);
+    costmodel::set_simd_enabled(true);
+    const auto simd = cm.model_cost_all_levels(graph, a);
+    ASSERT_EQ(simd.size(), k);
+    ASSERT_EQ(scalar.size(), k);
+    for (std::size_t lvl = 0; lvl < k; ++lvl) {
+      SCOPED_TRACE("level " + std::to_string(lvl));
+      expect_model_cost_eq(simd[lvl], scalar[lvl]);
+      expect_model_cost_eq(simd[lvl], cm.model_cost_at(graph, a, lvl));
+    }
+  }
+}
+
+TEST(SimdLevels, ScratchReuseBitIdenticalAcrossShapeChanges) {
+  // One scratch driven through shrinking and growing (levels, layers)
+  // shapes must keep producing exactly what a fresh evaluation produces —
+  // stale lane or layer-list contents must never leak into a result.
+  costmodel::AnalyticalCostModel cm;
+  costmodel::AllLevelsScratch scratch;
+  for (std::size_t k : {5u, 1u, 7u, 2u}) {
+    for (models::TaskId t : {models::TaskId::kHT, models::TaskId::kES}) {
+      SCOPED_TRACE("levels " + std::to_string(k) + " task " +
+                   std::string(models::task_code(t)));
+      const auto a = accel_with_levels(costmodel::Dataflow::kOS, 2048, k);
+      const auto& graph = models::model_graph(t);
+      const auto& reused = cm.model_cost_all_levels(graph, a, scratch);
+      const auto fresh = cm.model_cost_all_levels(graph, a);
+      ASSERT_EQ(reused.size(), fresh.size());
+      for (std::size_t lvl = 0; lvl < fresh.size(); ++lvl) {
+        expect_model_cost_eq(reused[lvl], fresh[lvl]);
+      }
+    }
+  }
+}
+
+TEST(SimdLevels, WarmedScratchIsAllocationFree) {
+  // The heap-churn satellite: after one warm-up call at the same shape, the
+  // scratch-reusing kernel must not allocate at all — the SoA lanes, the
+  // accumulators and every per-level layer list retain their capacity.
+  costmodel::AnalyticalCostModel cm;
+  const auto sys = hw::with_default_dvfs(hw::make_accelerator('J', 8192));
+  const auto& sa = sys.sub_accels[0];
+  const auto& graph = models::model_graph(models::TaskId::kHT);
+  costmodel::AllLevelsScratch scratch;
+  cm.model_cost_all_levels(graph, sa, scratch);  // warm-up sizes everything
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto& result = cm.model_cost_all_levels(graph, sa, scratch);
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state model_cost_all_levels allocated";
+  EXPECT_EQ(result.size(), sa.dvfs.num_levels());
+}
+
+TEST(SimdLevels, CostTableBitIdenticalUnderBothPaths) {
+  // The CI contract in-process: a CostTable built with the SIMD kernel off
+  // equals one built with it on, cell by cell and prefix by prefix.
+  SimdGuard guard;
+  const auto sys = hw::with_default_dvfs(hw::make_accelerator('M', 8192));
+  costmodel::set_simd_enabled(false);
+  const costmodel::AnalyticalCostModel cm_scalar;
+  const runtime::CostTable scalar(sys, cm_scalar);
+  costmodel::set_simd_enabled(true);
+  const costmodel::AnalyticalCostModel cm_simd;
+  const runtime::CostTable simd(sys, cm_simd);
+  for (models::TaskId t : models::all_tasks()) {
+    const std::size_t layers = models::model_graph(t).num_layers();
+    for (std::size_t sa = 0; sa < sys.sub_accels.size(); ++sa) {
+      for (std::size_t lvl = 0; lvl < sys.sub_accels[sa].dvfs.num_levels();
+           ++lvl) {
+        const auto& a = scalar.cost(t, sa, lvl);
+        const auto& b = simd.cost(t, sa, lvl);
+        EXPECT_EQ(a.latency_ms, b.latency_ms);
+        EXPECT_EQ(a.energy_mj, b.energy_mj);
+        EXPECT_EQ(a.static_energy_mj, b.static_energy_mj);
+        EXPECT_EQ(a.avg_utilization, b.avg_utilization);
+        for (std::size_t k = 0; k <= layers; ++k) {
+          EXPECT_EQ(scalar.layer_latency_prefix_ms(t, sa, lvl, k),
+                    simd.layer_latency_prefix_ms(t, sa, lvl, k));
+          EXPECT_EQ(scalar.layer_energy_prefix_mj(t, sa, lvl, k),
+                    simd.layer_energy_prefix_mj(t, sa, lvl, k));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xrbench
